@@ -1,0 +1,132 @@
+"""Table II reproduction: the accumulated model-optimization ladder.
+
+Per dataset (Wikipedia / Reddit / GDELT analogues) and per variant
+(baseline, +SAT, +LUT, +NP(L/M/S)) we report:
+
+* analytic kMEM / kMAC(GRU, GNN, total) at the paper's dimensions, printed
+  next to the published values;
+* **measured** single-thread throughput of the NumPy deployment path at the
+  paper's dimensions, with the baseline-relative speedup;
+* AP from an actual knowledge-distillation run at reduced training scale
+  (the accuracy protocol is identical to the paper's; absolute AP differs
+  because the streams are synthetic — the target is the *small delta*).
+
+The timed kernel is the ladder's inference sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig, TGNN, variant_ladder
+from repro.pipeline import SoftwareBackend, run_engine
+from repro.profiling import table2_ladder
+from repro.profiling.paper_reference import TABLE2
+from repro.reporting import render_table, save_result
+from repro.training import (DistillationConfig, DistillationTrainer,
+                            TrainConfig, Trainer)
+
+TRAIN_DIMS = dict(memory_dim=16, time_dim=12, embed_dim=16, num_neighbors=5,
+                  lut_bins=32)
+TRAIN_BUDGETS = {"+NP(L)": 3, "+NP(M)": 2, "+NP(S)": 1}  # scaled to k=5
+
+
+def _train_ap_column(graph, seed=0):
+    """AP per ladder row via teacher training + student distillation."""
+    _, (tr, va, te) = graph.split(0.70, 0.10)
+    base_cfg = ModelConfig(edge_dim=graph.edge_dim, node_dim=graph.node_dim,
+                           **TRAIN_DIMS)
+    teacher = TGNN(base_cfg, rng=np.random.default_rng(seed))
+    trainer = Trainer(teacher, graph,
+                      TrainConfig(epochs=3, batch_size=100, seed=seed))
+    trainer.train(tr)
+    teacher_ap = trainer.evaluate(va, te).ap
+    aps = {"baseline": teacher_ap}
+
+    def distill(cfg, tag):
+        student = TGNN(cfg, rng=np.random.default_rng(seed + 1))
+        student.calibrate(graph)
+        dt = DistillationTrainer(teacher, student, graph,
+                                 DistillationConfig(epochs=3, batch_size=100,
+                                                    seed=seed))
+        dt.train(tr)
+        aps[tag] = dt.as_trainer().evaluate(va, te).ap
+
+    sat_cfg = base_cfg.with_(simplified_attention=True)
+    lut_cfg = sat_cfg.with_(lut_time_encoder=True)
+    distill(sat_cfg, "+SAT")
+    distill(lut_cfg, "+LUT")
+    for tag, budget in TRAIN_BUDGETS.items():
+        distill(lut_cfg.with_(pruning_budget=budget), tag)
+    return aps
+
+
+def _measured_throughput(graph, end=2000):
+    """Single-thread kE/s at the paper's dimensions per ladder variant."""
+    base = ModelConfig(edge_dim=graph.edge_dim, node_dim=graph.node_dim)
+    out = {}
+    for cfg in variant_ladder(base):
+        model = TGNN(cfg, rng=np.random.default_rng(0))
+        model.calibrate(graph)
+        backend = SoftwareBackend(model, graph)
+        run_engine(backend, graph, 200, end=400)          # warm-up
+        rep = run_engine(backend, graph, 200, start=400, end=end)
+        out[cfg.name] = rep.throughput_eps / 1e3
+    return out
+
+
+@pytest.mark.parametrize("dataset", ["wikipedia", "reddit", "gdelt"])
+def test_table2_ladder(benchmark, capsys, datasets, dataset):
+    graph = datasets[dataset]
+    base = ModelConfig(edge_dim=graph.edge_dim, node_dim=graph.node_dim)
+
+    analytic = table2_ladder(base)
+    thpt = _measured_throughput(graph)
+    aps = _train_ap_column(graph)
+    paper = {r["model"]: r for r in TABLE2[dataset]}
+
+    rows = []
+    for a in analytic:
+        name = a["model"]
+        p = paper[name]
+        rows.append({
+            "model": name,
+            "kMEM": a["kMEM"], "kMEM_ppr": p["kMEM"],
+            "GRU": a["kMAC_GRU"], "GRU_ppr": p["kMAC_GRU"],
+            "GNN": a["kMAC_GNN"], "GNN_ppr": p["kMAC_GNN"],
+            "tot%": a["kMAC_pct"], "tot%_ppr": p["kMAC_pct"],
+            "AP": aps[name], "dAP": aps[name] - aps["baseline"],
+            "dAP_ppr": p["ap_delta"],
+            "kE/s": thpt[name],
+            "x": thpt[name] / thpt["baseline"],
+            "x_ppr": p["speedup"],
+        })
+    table = render_table(rows, precision=3,
+                         title=f"Table II — {dataset} "
+                               f"(ours vs paper '_ppr' columns)")
+    with capsys.disabled():
+        print(table)
+    save_result(f"table2_{dataset}", table)
+
+    # --- shape assertions --------------------------------------------------
+    speedups = [r["x"] for r in rows]
+    assert speedups[0] == 1.0
+    assert speedups[-1] == max(speedups)          # NP(S) fastest
+    assert speedups[-1] > 1.5                     # real measured gain
+    # Students may exceed the teacher at toy scale (the simplified attention
+    # regularises); the claim to check is that no variant LOSES much AP.
+    assert min(r["dAP"] for r in rows[1:]) > -0.12
+    assert rows[3]["kMEM"] < rows[0]["kMEM"]      # NP reduces MEMs
+
+    # --- timed kernel: one ladder inference pass ---------------------------
+    model = TGNN(base.with_(simplified_attention=True, lut_time_encoder=True,
+                            pruning_budget=2), rng=np.random.default_rng(0))
+    model.calibrate(graph)
+    model.prepare_inference()
+    rt = model.new_runtime(graph)
+    batches = [graph.slice(i, i + 200) for i in range(0, 1000, 200)]
+
+    def step():
+        for b in batches:
+            model.infer_batch(b, rt, graph)
+
+    benchmark.pedantic(step, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Datasets and trained models are module-scoped and deliberately smaller than
+the real Wikipedia/Reddit/GDELT streams so the full harness completes in
+minutes; every bench prints the paper's published values next to ours, and
+EXPERIMENTS.md records the comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gdelt_like, reddit_like, wikipedia_like
+from repro.models import ModelConfig, TGNN
+
+
+def pytest_configure(config):
+    # Benches print their tables; keep them visible in the bench log.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture(scope="session")
+def wiki():
+    """Wikipedia analogue at bench scale."""
+    return wikipedia_like(num_edges=4000, num_users=400, num_items=60)
+
+
+@pytest.fixture(scope="session")
+def reddit():
+    return reddit_like(num_edges=4000, num_users=400, num_items=50)
+
+
+@pytest.fixture(scope="session")
+def gdelt():
+    return gdelt_like(num_edges=4000, num_users=300, num_items=300)
+
+
+@pytest.fixture(scope="session")
+def datasets(wiki, reddit, gdelt):
+    return {"wikipedia": wiki, "reddit": reddit, "gdelt": gdelt}
+
+
+def np_model(graph, budget, seed=0, **overrides) -> TGNN:
+    """Calibrated co-designed model NP(budget) at paper dims."""
+    cfg = ModelConfig(simplified_attention=True, lut_time_encoder=True,
+                      pruning_budget=budget,
+                      edge_dim=graph.edge_dim, node_dim=graph.node_dim,
+                      name=f"NP({budget})", **overrides)
+    model = TGNN(cfg, rng=np.random.default_rng(seed))
+    model.calibrate(graph)
+    model.prepare_inference()
+    return model
+
+
+@pytest.fixture(scope="session")
+def wiki_np_models(wiki):
+    """NP(L/M/S) models on the Wikipedia analogue (paper dims)."""
+    return {name: np_model(wiki, budget)
+            for name, budget in (("NP(L)", 6), ("NP(M)", 4), ("NP(S)", 2))}

@@ -1,0 +1,15 @@
+"""Setup shim for legacy editable installs (offline environments without
+the `wheel` package cannot build PEP 660 editable wheels)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Model-architecture co-design for high-performance temporal "
+                 "GNN inference (IPDPS 2022 reproduction)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

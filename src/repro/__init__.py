@@ -1,0 +1,17 @@
+"""repro — reproduction of "Model-Architecture Co-Design for High Performance
+Temporal GNN Inference on FPGA" (IPDPS 2022).
+
+Subpackages
+-----------
+``autograd``   NumPy reverse-mode autodiff (training substrate).
+``graph``      Temporal-graph storage: streams, neighbor FIFO, vertex state.
+``datasets``   Synthetic Wikipedia/Reddit/GDELT analogues + Δt statistics.
+``models``     TGN-attn, simplified co-designed variants, APAN baseline.
+``training``   Self-supervised link prediction + knowledge distillation.
+``profiling``  Closed-form MAC/MEM accounting (Tables I-II).
+``hw``         Cycle-approximate FPGA accelerator simulator + resources.
+``perf``       Analytical performance model (§V) and GPP cost models.
+``pipeline``   Streaming inference engines (batch and real-time windows).
+"""
+
+__version__ = "1.0.0"

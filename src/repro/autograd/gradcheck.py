@@ -1,0 +1,58 @@
+"""Numerical gradient verification used by the test suite.
+
+Compares reverse-mode gradients against central finite differences.  Kept in
+the library (not the tests) so downstream users extending the op set can
+validate their additions the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_grad", "check_gradients"]
+
+
+def numerical_grad(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                   index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn`` w.r.t. input ``index``."""
+    x = inputs[index]
+    grad = np.zeros_like(x.data)
+    flat = x.data.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(*inputs).item()
+        flat[i] = orig - eps
+        f_minus = fn(*inputs).item()
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    eps: float = 1e-6, atol: float = 1e-5,
+                    rtol: float = 1e-4) -> None:
+    """Assert analytic gradients of scalar ``fn`` match finite differences.
+
+    Raises ``AssertionError`` naming the offending input index on mismatch.
+    """
+    for p in inputs:
+        p.zero_grad()
+    out = fn(*inputs)
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    for idx, p in enumerate(inputs):
+        if not p.requires_grad:
+            continue
+        analytic = p.grad if p.grad is not None else np.zeros_like(p.data)
+        numeric = numerical_grad(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch on input {idx}: max abs err {worst:.3e}")

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``info``    package, dataset registry, published design points.
+``train``   self-supervised training (optionally distilled from a teacher
+            checkpoint) on a named dataset analogue; saves a ``.npz`` model.
+``eval``    streaming AP/AUC of a checkpoint on a dataset split.
+``infer``   throughput/latency of a checkpoint on a backend
+            (``software`` measured, ``u200``/``zcu104`` simulated).
+``dse``     design-space sweep + Pareto frontier for a platform.
+``trace``   simulate a few batches with tracing and print the ASCII Gantt
+            chart + per-stage utilization.
+
+Every command is a plain function taking parsed args, so tests invoke them
+without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal GNN model-architecture co-design (IPDPS'22 "
+                    "reproduction)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and registry overview")
+
+    t = sub.add_parser("train", help="train (or distill) a model")
+    t.add_argument("--dataset", default="wikipedia")
+    t.add_argument("--edges", type=int, default=3000)
+    t.add_argument("--epochs", type=int, default=3)
+    t.add_argument("--batch-size", type=int, default=100)
+    t.add_argument("--memory-dim", type=int, default=32)
+    t.add_argument("--neighbors", type=int, default=10)
+    t.add_argument("--simplified", action="store_true",
+                   help="use the Eq.(16) attention (required for --prune)")
+    t.add_argument("--lut", action="store_true", help="LUT time encoder")
+    t.add_argument("--prune", type=int, default=None,
+                   help="neighbor pruning budget")
+    t.add_argument("--teacher", default=None,
+                   help="teacher checkpoint for knowledge distillation")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--out", required=True, help="output checkpoint (.npz)")
+
+    e = sub.add_parser("eval", help="evaluate a checkpoint")
+    e.add_argument("--model", required=True)
+    e.add_argument("--dataset", default="wikipedia")
+    e.add_argument("--edges", type=int, default=3000)
+    e.add_argument("--batch-size", type=int, default=100)
+
+    i = sub.add_parser("infer", help="throughput/latency of a checkpoint")
+    i.add_argument("--model", required=True)
+    i.add_argument("--dataset", default="wikipedia")
+    i.add_argument("--edges", type=int, default=3000)
+    i.add_argument("--batch-size", type=int, default=200)
+    i.add_argument("--backend", choices=["software", "u200", "zcu104"],
+                   default="software")
+
+    d = sub.add_parser("dse", help="design-space exploration")
+    d.add_argument("--platform", choices=["u200", "zcu104"], default="u200")
+    d.add_argument("--prune", type=int, default=4)
+    d.add_argument("--batch-size", type=int, default=1000)
+
+    g = sub.add_parser("trace", help="pipeline Gantt chart")
+    g.add_argument("--platform", choices=["u200", "zcu104"],
+                   default="zcu104")
+    g.add_argument("--batches", type=int, default=3)
+    g.add_argument("--width", type=int, default=100)
+    return p
+
+
+# --------------------------------------------------------------------------- #
+def _dataset(args):
+    from .datasets import load
+    return load(args.dataset, num_edges=args.edges)
+
+
+def _model_cfg(args, graph):
+    from .models import ModelConfig
+    return ModelConfig(memory_dim=args.memory_dim, time_dim=args.memory_dim,
+                       embed_dim=args.memory_dim,
+                       edge_dim=graph.edge_dim, node_dim=graph.node_dim,
+                       num_neighbors=args.neighbors,
+                       simplified_attention=args.simplified or bool(args.teacher),
+                       lut_time_encoder=args.lut,
+                       pruning_budget=args.prune)
+
+
+def cmd_info(args, out=print) -> int:
+    from . import __version__
+    from .datasets import DATASETS
+    from .hw import U200_DESIGN, ZCU104_DESIGN
+    out(f"repro {__version__} — IPDPS'22 TGNN co-design reproduction")
+    out(f"datasets: {', '.join(sorted(DATASETS))}")
+    for name, hw in (("u200", U200_DESIGN), ("zcu104", ZCU104_DESIGN)):
+        out(f"{name}: Ncu={hw.n_cu} Sg={hw.sg} SFAM={hw.s_fam} "
+            f"SFTM={hw.s_ftm} Nb={hw.nb} @ {hw.freq_mhz:.0f} MHz, "
+            f"{hw.platform.ddr_bw_gbs:.1f} GB/s DDR")
+    return 0
+
+
+def cmd_train(args, out=print) -> int:
+    from .models import TGNN, load_model, save_model
+    from .training import (DistillationConfig, DistillationTrainer,
+                           TrainConfig, Trainer)
+    graph = _dataset(args)
+    _, (train_end, val_end, test_end) = graph.split()
+    cfg = _model_cfg(args, graph)
+    model = TGNN(cfg, rng=np.random.default_rng(args.seed))
+    model.calibrate(graph)
+    if args.teacher:
+        teacher = load_model(args.teacher)
+        trainer = DistillationTrainer(
+            teacher, model, graph,
+            DistillationConfig(epochs=args.epochs,
+                               batch_size=args.batch_size, seed=args.seed),
+            warm_start=True)
+        hist = trainer.train(train_end)
+        out(f"distilled {args.epochs} epochs: "
+            f"kd_loss {hist[-1]['kd_loss']:.4f}, "
+            f"agreement {hist[-1]['top1_agreement']:.3f}")
+        evaluator = trainer.as_trainer()
+    else:
+        evaluator = Trainer(model, graph,
+                            TrainConfig(epochs=args.epochs,
+                                        batch_size=args.batch_size,
+                                        seed=args.seed))
+        hist = evaluator.train(train_end)
+        out(f"trained {args.epochs} epochs: loss {hist[-1]['loss']:.4f}")
+    res = evaluator.evaluate(val_end, test_end)
+    out(f"test AP {res.ap:.4f}  AUC {res.auc:.4f}")
+    save_model(model, args.out)
+    out(f"saved checkpoint to {args.out}")
+    return 0
+
+
+def cmd_eval(args, out=print) -> int:
+    from .models import load_model
+    from .training import TrainConfig, Trainer
+    graph = _dataset(args)
+    _, (train_end, val_end, test_end) = graph.split()
+    model = load_model(args.model)
+    trainer = Trainer(model, graph,
+                      TrainConfig(batch_size=args.batch_size, seed=0))
+    res = trainer.evaluate(val_end, test_end)
+    out(f"test AP {res.ap:.4f}  AUC {res.auc:.4f} "
+        f"over {res.n_edges} edges")
+    return 0
+
+
+def cmd_infer(args, out=print) -> int:
+    from .hw import FPGAAccelerator, U200_DESIGN, ZCU104_DESIGN
+    from .models import load_model
+    from .pipeline import (SimulatedFPGABackend, SoftwareBackend,
+                           run_engine)
+    graph = _dataset(args)
+    model = load_model(args.model)
+    if args.backend == "software":
+        backend = SoftwareBackend(model, graph)
+        label = "measured (1 thread)"
+    else:
+        design = U200_DESIGN if args.backend == "u200" else ZCU104_DESIGN
+        backend = SimulatedFPGABackend(FPGAAccelerator(model, design), graph)
+        label = f"simulated ({args.backend})"
+    report = run_engine(backend, graph, batch_size=args.batch_size)
+    out(f"{label}: {report.throughput_eps / 1e3:.2f} kE/s, "
+        f"mean batch latency {report.mean_latency_s * 1e3:.3f} ms "
+        f"over {report.n_edges} edges")
+    return 0
+
+
+def cmd_dse(args, out=print) -> int:
+    from .hw import U200, ZCU104, explore, pareto_frontier
+    from .models import ModelConfig
+    platform = U200 if args.platform == "u200" else ZCU104
+    cfg = ModelConfig(simplified_attention=True, lut_time_encoder=True,
+                      pruning_budget=args.prune)
+    points = explore(cfg, platform, batch_size=args.batch_size)
+    frontier = pareto_frontier(points)
+    out(f"{len(points)} feasible designs on {args.platform}; "
+        f"frontier ({len(frontier)} points):")
+    for p in frontier:
+        out(f"  Ncu={p.hw.n_cu} Sg={p.hw.sg} SFAM={p.hw.s_fam} "
+            f"SFTM={p.hw.s_ftm} Nb={p.hw.nb}: {p.dsp} DSP, "
+            f"{p.throughput_eps / 1e3:.1f} kE/s, "
+            f"{p.latency_s * 1e3:.2f} ms @ N={args.batch_size}")
+    return 0
+
+
+def cmd_trace(args, out=print) -> int:
+    from .datasets import wikipedia_like
+    from .hw import (FPGAAccelerator, U200_DESIGN, ZCU104_DESIGN,
+                     pipeline_overlap, render_gantt, stage_utilization)
+    from .models import ModelConfig, TGNN
+    design = U200_DESIGN if args.platform == "u200" else ZCU104_DESIGN
+    graph = wikipedia_like(num_edges=1000, num_users=120, num_items=25)
+    cfg = ModelConfig(simplified_attention=True, lut_time_encoder=True,
+                      pruning_budget=4)
+    model = TGNN(cfg, rng=np.random.default_rng(0))
+    model.calibrate(graph)
+    acc = FPGAAccelerator(model, design)
+    n = args.batches * design.nb
+    report = acc.run_stream(graph, batch_size=n, end=n, trace=True)
+    out(render_gantt(report, width=args.width))
+    out("")
+    for stage, util in stage_utilization(report).items():
+        out(f"{stage:>18}: {'#' * int(40 * util):<40} {util * 100:5.1f}%")
+    out(f"\npipeline overlap factor: {pipeline_overlap(report):.2f}x "
+        f"(1.0 = serial)")
+    return 0
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "train": cmd_train,
+    "eval": cmd_eval,
+    "infer": cmd_infer,
+    "dse": cmd_dse,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: list[str] | None = None, out=print) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

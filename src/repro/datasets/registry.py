@@ -1,0 +1,29 @@
+"""Name-keyed access to the dataset analogues used across benches and tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph.temporal_graph import TemporalGraph
+from .synthetic import (gdelt_like, lastfm_like, mooc_like, reddit_like,
+                        wikipedia_like)
+
+__all__ = ["DATASETS", "load"]
+
+DATASETS: dict[str, Callable[..., TemporalGraph]] = {
+    "wikipedia": wikipedia_like,
+    "reddit": reddit_like,
+    "gdelt": gdelt_like,
+    "lastfm": lastfm_like,
+    "mooc": mooc_like,
+}
+
+
+def load(name: str, **kwargs) -> TemporalGraph:
+    """Instantiate a dataset analogue by paper name ('wikipedia', 'reddit', 'gdelt')."""
+    try:
+        factory = DATASETS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"available: {sorted(DATASETS)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,28 @@
+"""FPGA accelerator simulator: modules, timing, resources (§IV / Table IV)."""
+
+from .accelerator import COMPUTE_STAGES, FPGAAccelerator, RunReport  # noqa: F401
+from .config import U200_DESIGN, ZCU104_DESIGN, HardwareConfig  # noqa: F401
+from .dse import (DesignPoint, SweepSpec, best_design, explore,  # noqa: F401
+                  pareto_frontier)
+from .eu import EU_STAGES, EmbeddingUnit  # noqa: F401
+from .memory_model import DDRModel  # noqa: F401
+from .multi_die import Floorplan, plan_floorplan  # noqa: F401
+from .muu import MUU_STAGES, MemoryUpdateUnit  # noqa: F401
+from .platforms import U200, ZCU104, FPGAPlatform  # noqa: F401
+from .resources import ResourceEstimate, estimate_resources  # noqa: F401
+from .trace import pipeline_overlap, render_gantt, stage_utilization  # noqa: F401
+from .updater import UpdaterCache, UpdaterReport  # noqa: F401
+
+__all__ = [
+    "FPGAAccelerator", "RunReport", "COMPUTE_STAGES",
+    "HardwareConfig", "U200_DESIGN", "ZCU104_DESIGN",
+    "FPGAPlatform", "U200", "ZCU104",
+    "DDRModel",
+    "MemoryUpdateUnit", "MUU_STAGES",
+    "EmbeddingUnit", "EU_STAGES",
+    "UpdaterCache", "UpdaterReport",
+    "ResourceEstimate", "estimate_resources",
+    "DesignPoint", "SweepSpec", "explore", "pareto_frontier", "best_design",
+    "Floorplan", "plan_floorplan",
+    "stage_utilization", "render_gantt", "pipeline_overlap",
+]

@@ -1,0 +1,84 @@
+"""Multi-die (SLR) floorplanning model (§IV-B, Fig. 2 right).
+
+Advanced FPGAs like the Alveo U200 are built from multiple Super Logic
+Regions with a limited number of inter-die connections; the paper
+distributes the CUs across SLR0/SLR2 with the shared front end (edge
+parser, data loader, updater) on SLR1, crossing die boundaries through
+on-chip FIFOs.
+
+This module assigns accelerator modules to dies, verifies the per-die
+resource budget, and counts boundary crossings on the dataflow — the count
+feeds the ``die_crossing_cycles`` penalty in the accelerator simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.config import ModelConfig
+from .config import HardwareConfig
+from .resources import estimate_resources
+
+__all__ = ["Floorplan", "plan_floorplan"]
+
+# Dataflow edges between top-level modules (producer -> consumer).
+DATAFLOW = [
+    ("edge_parser", "data_loader"),
+    ("data_loader", "cu"),        # expanded per CU
+    ("cu", "updater"),            # expanded per CU
+    ("updater", "data_loader"),   # write-back sharing the controller
+]
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Module -> die assignment plus derived crossing statistics."""
+
+    assignment: dict[str, int]      # module name -> die index
+    crossings: int                  # dataflow edges spanning dies
+    per_die_dsp: dict[int, int]     # estimated DSPs per die
+    feasible: bool                  # every die within its budget
+
+    def crossing_for(self, producer: str, consumer: str) -> bool:
+        return self.assignment[producer] != self.assignment[consumer]
+
+
+def plan_floorplan(model_cfg: ModelConfig, hw: HardwareConfig) -> Floorplan:
+    """Assign modules to dies following the paper's U200 layout.
+
+    Single-die parts trivially place everything on die 0.  Multi-die parts
+    place the shared front end (parser, loader, updater) on the middle die
+    and spread the CUs over the remaining dies round-robin — the Fig. 2
+    arrangement generalised to any die count.
+    """
+    dies = hw.platform.dies
+    assignment: dict[str, int] = {}
+    if dies == 1:
+        shared_die = 0
+        cu_dies = [0] * hw.n_cu
+    else:
+        shared_die = dies // 2
+        outer = [d for d in range(dies) if d != shared_die]
+        cu_dies = [outer[i % len(outer)] for i in range(hw.n_cu)]
+    for name in ("edge_parser", "data_loader", "updater"):
+        assignment[name] = shared_die
+    for i, die in enumerate(cu_dies):
+        assignment[f"cu{i}"] = die
+
+    # Crossings: loader->CU and CU->updater per CU, when dies differ.
+    crossings = 0
+    for i, die in enumerate(cu_dies):
+        if die != shared_die:
+            crossings += 2
+
+    # Per-die DSP estimate: the CU datapaths dominate; shared front end is
+    # logic-only.  Distribute the estimator's per-CU figure.
+    est = estimate_resources(model_cfg, hw)
+    per_cu_dsp = est.detail["dsp"]["per_cu"]
+    per_die_dsp: dict[int, int] = {d: 0 for d in range(dies)}
+    for die in cu_dies:
+        per_die_dsp[die] += per_cu_dsp
+    feasible = all(v <= hw.platform.dsps_per_die
+                   for v in per_die_dsp.values())
+    return Floorplan(assignment=assignment, crossings=crossings,
+                     per_die_dsp=per_die_dsp, feasible=feasible)

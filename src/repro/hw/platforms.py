@@ -1,0 +1,57 @@
+"""Hardware platform specifications (Table III) and design points (Table IV).
+
+``FPGAPlatform`` captures the per-die resource budget and memory system of a
+board; ``U200`` and ``ZCU104`` are the two boards the paper targets.  The
+published design configurations for each are exposed as
+:data:`U200_DESIGN` / :data:`ZCU104_DESIGN` (see ``hw.config``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGAPlatform", "U200", "ZCU104"]
+
+
+@dataclass(frozen=True)
+class FPGAPlatform:
+    """Resource and memory budget of an FPGA board."""
+
+    name: str
+    dies: int                  # Super Logic Regions
+    luts_per_die: int
+    dsps_per_die: int
+    brams_per_die: int         # 36 Kb blocks
+    urams_per_die: int         # 288 Kb blocks
+    ddr_bw_gbs: float
+    memory_channels: int = 1
+
+    @property
+    def total_luts(self) -> int:
+        return self.dies * self.luts_per_die
+
+    @property
+    def total_dsps(self) -> int:
+        return self.dies * self.dsps_per_die
+
+    @property
+    def total_brams(self) -> int:
+        return self.dies * self.brams_per_die
+
+    @property
+    def total_urams(self) -> int:
+        return self.dies * self.urams_per_die
+
+    def fits(self, lut: int, dsp: int, bram: int, uram: int) -> bool:
+        """Whether a resource estimate fits the board's total budget."""
+        return (lut <= self.total_luts and dsp <= self.total_dsps
+                and bram <= self.total_brams and uram <= self.total_urams)
+
+
+# Table III.
+U200 = FPGAPlatform(name="u200", dies=3, luts_per_die=394_000,
+                    dsps_per_die=2280, brams_per_die=720, urams_per_die=320,
+                    ddr_bw_gbs=77.0, memory_channels=4)
+ZCU104 = FPGAPlatform(name="zcu104", dies=1, luts_per_die=230_000,
+                      dsps_per_die=1728, brams_per_die=312, urams_per_die=96,
+                      ddr_bw_gbs=19.2, memory_channels=1)

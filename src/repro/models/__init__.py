@@ -1,0 +1,28 @@
+"""TGNN models: TGN-attn baseline, co-designed variants, and APAN."""
+
+from .apan import APAN, APANRuntime  # noqa: F401
+from .attention import (DT_SCALE, AttentionOutput,  # noqa: F401
+                        SimplifiedTemporalAttention, VanillaTemporalAttention)
+from .config import NP_BUDGETS, ModelConfig, variant_ladder  # noqa: F401
+from .checkpoint import (load_model, load_runtime, save_model,  # noqa: F401
+                         save_runtime)
+from .link_predictor import LinkPredictor  # noqa: F401
+from .memory_updater import GRUMemoryUpdater, RNNMemoryUpdater  # noqa: F401
+from .message import build_raw_messages  # noqa: F401
+from .multilayer import MultiLayerTGNN  # noqa: F401
+from .pruning import select_pruned, top_k_mask  # noqa: F401
+from .tgn import TGNN, BatchResult, ModelRuntime  # noqa: F401
+from .time_encoding import CosineTimeEncoder, LUTTimeEncoder  # noqa: F401
+
+__all__ = [
+    "ModelConfig", "variant_ladder", "NP_BUDGETS",
+    "TGNN", "ModelRuntime", "BatchResult",
+    "CosineTimeEncoder", "LUTTimeEncoder",
+    "VanillaTemporalAttention", "SimplifiedTemporalAttention",
+    "AttentionOutput", "DT_SCALE",
+    "GRUMemoryUpdater", "RNNMemoryUpdater", "MultiLayerTGNN",
+    "build_raw_messages",
+    "top_k_mask", "select_pruned",
+    "LinkPredictor", "APAN", "APANRuntime",
+    "save_model", "load_model", "save_runtime", "load_runtime",
+]

@@ -1,0 +1,448 @@
+"""Memory-based TGNN (TGN-attn) and its co-designed variants.
+
+One class implements the whole Table II ladder: the :class:`ModelConfig`
+flags select vanilla vs. simplified attention, cosine vs. LUT time encoder,
+and the pruning budget.  The model follows the paper's Algorithm 1 exactly:
+
+    1. update vertex memory from cached messages         (UPDT / MUU)
+    2. refresh cached messages with the new signals      (mailbox)
+    3. compute output embeddings via temporal attention  (GNN / EU)
+    4. append the new edges to the neighbor table        (FIFO sampler)
+
+Two execution paths share the same parameters:
+
+* :meth:`process_batch` — autograd path used for training and distillation;
+* :meth:`infer_batch` — pure-NumPy deployment path with *actual* pruned
+  gathers and pre-multiplied LUT tables, instrumented with the per-stage
+  timings of Table I.  The two paths agree to float round-off (asserted by
+  integration tests), and the hardware simulator reuses the same per-module
+  numpy kernels, so all three implementations are functionally identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..autograd.module import Linear, Module
+from ..graph.sampler import FIFONeighborSampler
+from ..graph.state import VertexState
+from ..graph.temporal_graph import EdgeBatch, TemporalGraph
+from .attention import (DT_SCALE, AttentionOutput, SimplifiedTemporalAttention,
+                        VanillaTemporalAttention, _masked_softmax_np)
+from .config import ModelConfig
+from .memory_updater import GRUMemoryUpdater, RNNMemoryUpdater
+from .message import build_raw_messages
+from .pruning import select_pruned
+from .time_encoding import CosineTimeEncoder, LUTTimeEncoder
+
+__all__ = ["TGNN", "ModelRuntime", "BatchResult"]
+
+
+@dataclass
+class ModelRuntime:
+    """Mutable per-stream state: vertex tables + neighbor FIFO.
+
+    Forking a runtime (``snapshot``/``restore``) lets evaluation continue
+    from the training boundary without corrupting the training state.
+    """
+
+    state: VertexState
+    sampler: FIFONeighborSampler
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state.snapshot(),
+            "nbr": {
+                "_nbrs": self.sampler.table._nbrs.copy(),
+                "_eids": self.sampler.table._eids.copy(),
+                "_times": self.sampler.table._times.copy(),
+                "_head": self.sampler.table._head.copy(),
+                "_count": self.sampler.table._count.copy(),
+            },
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.state.restore(snap["state"])
+        for name, arr in snap["nbr"].items():
+            getattr(self.sampler.table, name)[...] = arr
+
+    def reset(self) -> None:
+        self.state.reset()
+        t = self.sampler.table
+        t._nbrs.fill(0)
+        t._eids.fill(0)
+        t._times.fill(-np.inf)
+        t._head.fill(0)
+        t._count.fill(0)
+
+
+@dataclass
+class BatchResult:
+    """Output of one processed batch (2 embeddings per edge, interleaved).
+
+    When negative-sample queries were requested, their embeddings occupy the
+    trailing rows of ``embeddings`` (``nodes`` includes them too).
+    """
+
+    nodes: np.ndarray          # (2B [+n_neg],) vertex ids: src0, dst0, ...
+    embeddings: Tensor         # (2B [+n_neg], embed_dim)
+    attention: AttentionOutput | None = None
+    dt_scaled: np.ndarray | None = None   # (rows, k) scaled neighbor gaps
+    num_edges: int = 0         # B; 0 means "infer from len(nodes)//2"
+
+    def _b(self) -> int:
+        return self.num_edges if self.num_edges else len(self.nodes) // 2
+
+    @property
+    def src_embeddings(self) -> Tensor:
+        return self.embeddings[np.arange(0, 2 * self._b(), 2)]
+
+    @property
+    def dst_embeddings(self) -> Tensor:
+        return self.embeddings[np.arange(1, 2 * self._b(), 2)]
+
+    @property
+    def neg_embeddings(self) -> Tensor:
+        """Embeddings of the negative-sample query nodes (may be empty)."""
+        return self.embeddings[np.arange(2 * self._b(), len(self.nodes))]
+
+
+class TGNN(Module):
+    """TGN-attn and its simplified variants, per :class:`ModelConfig`."""
+
+    def __init__(self, cfg: ModelConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cfg = cfg
+        if cfg.lut_time_encoder:
+            self.time_encoder = LUTTimeEncoder(cfg.time_dim, cfg.lut_bins, rng=rng)
+        else:
+            self.time_encoder = CosineTimeEncoder(cfg.time_dim, rng=rng)
+        if cfg.memory_updater == "rnn":
+            self.memory_updater = RNNMemoryUpdater(cfg, self.time_encoder,
+                                                   rng=rng)
+        else:
+            self.memory_updater = GRUMemoryUpdater(cfg, self.time_encoder,
+                                                   rng=rng)
+        if cfg.simplified_attention:
+            self.attention: Module = SimplifiedTemporalAttention(cfg, rng=rng)
+        else:
+            self.attention = VanillaTemporalAttention(cfg, rng=rng)
+        self.node_proj = (Linear(cfg.node_dim, cfg.memory_dim, rng=rng)
+                          if cfg.node_dim > 0 else None)
+        self.out_transform = Linear(cfg.embed_dim + cfg.memory_dim,
+                                    cfg.embed_dim, rng=rng)
+        self._premul_cache: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # runtime management                                                  #
+    # ------------------------------------------------------------------ #
+    def new_runtime(self, graph: TemporalGraph) -> ModelRuntime:
+        """Fresh zeroed vertex state + FIFO neighbor table for ``graph``."""
+        state = VertexState(graph.num_nodes, self.cfg.memory_dim,
+                            self.cfg.raw_message_dim)
+        sampler = FIFONeighborSampler.create(graph.num_nodes,
+                                             mr=self.cfg.num_neighbors)
+        return ModelRuntime(state=state, sampler=sampler)
+
+    def calibrate(self, graph: TemporalGraph) -> None:
+        """Fit LUT bin edges (and warm-start entries) from stream Δt stats.
+
+        No-op for the cosine encoder.  Must run before training a LUT model.
+        """
+        if isinstance(self.time_encoder, LUTTimeEncoder):
+            from ..datasets.stats import encoder_input_deltas
+            deltas = encoder_input_deltas(graph)
+            ref = CosineTimeEncoder(self.cfg.time_dim)
+            self.time_encoder.calibrate(deltas, reference=ref)
+            self._premul_cache = None
+
+    # ------------------------------------------------------------------ #
+    # shared per-batch preparation                                        #
+    # ------------------------------------------------------------------ #
+    def _update_memory_np(self, batch: EdgeBatch, rt: ModelRuntime
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Algorithm 1 lines 3-8 (numpy): returns (nodes, inverse, updated).
+
+        ``updated`` holds the post-GRU memory for the batch's unique
+        vertices; state (memory + mailbox) is committed as a side effect.
+        """
+        nodes = batch.nodes
+        t_nodes = np.repeat(batch.t, 2)
+        uniq, inverse = np.unique(nodes, return_inverse=True)
+        mem, mail, mail_t, last = rt.state.read(uniq)
+        has_mail = mail_t > -np.inf
+        updated = mem.copy()
+        if has_mail.any():
+            idx = np.nonzero(has_mail)[0]
+            dt = np.maximum(mail_t[idx] - last[idx], 0.0)
+            tf = self._gru_time_features_np(dt)
+            updated[idx] = self.memory_updater.forward_numpy(
+                mail[idx], dt, mem[idx], time_features=tf)
+            rt.state.write_memory(uniq[idx], updated[idx], mail_t[idx])
+        # Refresh cached messages with the new signals (last write wins).
+        mem_src = updated[inverse[0::2]]
+        mem_dst = updated[inverse[1::2]]
+        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst, batch.edge_feat)
+        msgs = np.empty((len(nodes), self.cfg.raw_message_dim))
+        msgs[0::2] = msg_src
+        msgs[1::2] = msg_dst
+        rt.state.write_mail(nodes, msgs, t_nodes)
+        return nodes, inverse, updated
+
+    def _gru_time_features_np(self, dt: np.ndarray) -> np.ndarray:
+        """Time features for the GRU input (LUT premultiplication is applied
+        downstream inside forward_numpy's matmul; here we return Phi)."""
+        return self.time_encoder.encode_numpy(dt)
+
+    # ------------------------------------------------------------------ #
+    # training path (autograd)                                            #
+    # ------------------------------------------------------------------ #
+    def process_batch(self, batch: EdgeBatch, rt: ModelRuntime,
+                      graph: TemporalGraph,
+                      neg_dst: np.ndarray | None = None) -> BatchResult:
+        """Differentiable processing of one chronological edge batch.
+
+        Gradients flow through the GRU update and the attention aggregation
+        of the *current* batch; state committed to the runtime is detached
+        (TGN's standard truncation of backprop across batches).
+
+        ``neg_dst`` (optional, shape ``(n_neg,)``) appends pure *query*
+        embeddings for negative-sampled vertices, evaluated at the batch's
+        edge times (cycled if ``n_neg != B``) against pre-insertion neighbor
+        lists — the TGN link-prediction protocol.  Negative queries never
+        touch vertex state.
+        """
+        cfg = self.cfg
+        nodes = batch.nodes
+        t_nodes = np.repeat(batch.t, 2)
+        uniq, inverse = np.unique(nodes, return_inverse=True)
+        mem, mail, mail_t, last = rt.state.read(uniq)
+        has_mail = mail_t > -np.inf
+        dt_mail = np.where(has_mail, np.maximum(mail_t - last, 0.0), 0.0)
+        raw = np.where(has_mail[:, None], mail, 0.0)
+        gru_out = self.memory_updater(raw, dt_mail, mem)
+        updated = Tensor.where(has_mail[:, None], gru_out, Tensor(mem))
+        # Commit detached state before the GNN reads neighbor memory.
+        commit_t = np.where(has_mail, mail_t, last)
+        rt.state.write_memory(uniq, updated.data, commit_t)
+        mem_src = updated.data[inverse[0::2]]
+        mem_dst = updated.data[inverse[1::2]]
+        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst, batch.edge_feat)
+        msgs = np.empty((len(nodes), cfg.raw_message_dim))
+        msgs[0::2] = msg_src
+        msgs[1::2] = msg_dst
+        rt.state.write_mail(nodes, msgs, t_nodes)
+
+        # --- attention over temporal neighbors (pre-insertion table) ----- #
+        query_nodes = nodes
+        query_t = t_nodes
+        self_feat = updated[inverse]
+        if neg_dst is not None and len(neg_dst) > 0:
+            neg = np.asarray(neg_dst, dtype=np.int64)
+            neg_t = np.resize(batch.t, len(neg))
+            query_nodes = np.concatenate([nodes, neg])
+            query_t = np.concatenate([t_nodes, neg_t])
+            self_feat = Tensor.concat(
+                [self_feat, Tensor(rt.state.memory[neg])], axis=0)
+
+        g = rt.sampler.gather(query_nodes, cfg.num_neighbors)
+        dt_nbr = np.maximum(query_t[:, None] - g.times, 0.0)
+        dt_nbr = np.where(g.mask, dt_nbr, 0.0)
+        nbr_mem = rt.state.memory[g.nbrs]
+        e_feat = graph.edge_feat[g.eids]
+        e_feat = np.where(g.mask[:, :, None], e_feat, 0.0)
+
+        nbr_feat = Tensor(nbr_mem)
+        if self.node_proj is not None:
+            self_feat = self_feat + self.node_proj(
+                Tensor(graph.node_feat[query_nodes]))
+            nbr_feat = nbr_feat + self.node_proj(Tensor(graph.node_feat[g.nbrs]))
+        time_enc = self.time_encoder(dt_nbr)
+        time_zero = self.time_encoder(np.zeros(len(query_nodes)))
+        dt_scaled = dt_nbr * DT_SCALE
+        attn = self.attention(query_feat=self_feat, nbr_feat=nbr_feat,
+                              edge_feat=e_feat, time_enc=time_enc,
+                              time_enc_zero=time_zero, mask=g.mask,
+                              dt_scaled=dt_scaled)
+        emb = self.out_transform(
+            Tensor.concat([attn.hidden, self_feat], axis=-1)).relu()
+        rt.sampler.insert_edges(batch.src, batch.dst, batch.eid, batch.t)
+        return BatchResult(nodes=query_nodes, embeddings=emb, attention=attn,
+                           dt_scaled=dt_scaled, num_edges=len(batch))
+
+    # ------------------------------------------------------------------ #
+    # deployment path (pure numpy, really-pruned gathers)                 #
+    # ------------------------------------------------------------------ #
+    def prepare_inference(self) -> None:
+        """Pre-multiply the LUT table with the downstream weight slices.
+
+        After this call, :meth:`infer_batch` replaces every time-feature
+        matmul with a table lookup — the §III-C computation-order reversal.
+        Call again after any parameter change.
+        """
+        self._premul_cache = None
+        if not isinstance(self.time_encoder, LUTTimeEncoder):
+            return
+        d_t = self.cfg.time_dim
+        cache = {"updt": self.time_encoder.premultiply(
+            self.memory_updater.input_time_weight())}
+        if isinstance(self.attention, SimplifiedTemporalAttention):
+            w_v_time = self.attention.w_v.weight.data[:, -d_t:]
+            cache["attn_v"] = self.time_encoder.premultiply(w_v_time)
+        self._premul_cache = cache
+
+    def infer_batch(self, batch: EdgeBatch, rt: ModelRuntime,
+                    graph: TemporalGraph,
+                    timings: dict[str, float] | None = None) -> BatchResult:
+        """Fast inference for one batch; optionally accumulates per-stage
+        wall-clock seconds into ``timings`` under the Table I stage names
+        (``sample`` / ``memory`` / ``gnn`` / ``update``)."""
+        cfg = self.cfg
+        tic = time.perf_counter
+
+        # memory: mailbox consumption + GRU (Table I "memory" part).
+        t0 = tic()
+        nodes, inverse, updated = self._update_memory_np_timed(batch, rt)
+        t1 = tic()
+
+        # sample: neighbor-table fetch (Table I "sample" part).
+        t_nodes = np.repeat(batch.t, 2)
+        g = rt.sampler.gather(nodes, cfg.num_neighbors)
+        t2 = tic()
+
+        # gnn: attention + transform (Table I "GNN" part).
+        emb, attn_logits, sel = self._gnn_numpy(nodes, t_nodes, g, updated,
+                                                inverse, rt, graph)
+        t3 = tic()
+
+        # update: neighbor-table append (memory/mail writes were already
+        # committed inside the memory stage, mirroring Algorithm 1's order).
+        rt.sampler.insert_edges(batch.src, batch.dst, batch.eid, batch.t)
+        t4 = tic()
+
+        if timings is not None:
+            timings["memory"] = timings.get("memory", 0.0) + (t1 - t0)
+            timings["sample"] = timings.get("sample", 0.0) + (t2 - t1)
+            timings["gnn"] = timings.get("gnn", 0.0) + (t3 - t2)
+            timings["update"] = timings.get("update", 0.0) + (t4 - t3)
+        attn = AttentionOutput(hidden=Tensor(np.zeros((len(nodes), 0))),
+                               logits=Tensor(attn_logits), mask=g.mask,
+                               selected=sel)
+        return BatchResult(nodes=nodes, embeddings=Tensor(emb),
+                           attention=attn, dt_scaled=None)
+
+    def _update_memory_np_timed(self, batch, rt):
+        """Wrapper so LUT premultiplication applies inside the GRU path."""
+        cache = self._premul_cache
+        if cache is None:
+            return self._update_memory_np(batch, rt)
+        # LUT fast path: time contribution to the input gates is a lookup.
+        cfg = self.cfg
+        nodes = batch.nodes
+        t_nodes = np.repeat(batch.t, 2)
+        uniq, inverse = np.unique(nodes, return_inverse=True)
+        mem, mail, mail_t, last = rt.state.read(uniq)
+        has_mail = mail_t > -np.inf
+        updated = mem.copy()
+        if has_mail.any():
+            idx = np.nonzero(has_mail)[0]
+            dt = np.maximum(mail_t[idx] - last[idx], 0.0)
+            updated[idx] = self.memory_updater.forward_numpy_premul(
+                mail[idx], self.time_encoder.bin_index(dt),
+                cache["updt"], mem[idx])
+            rt.state.write_memory(uniq[idx], updated[idx], mail_t[idx])
+        mem_src = updated[inverse[0::2]]
+        mem_dst = updated[inverse[1::2]]
+        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst, batch.edge_feat)
+        msgs = np.empty((len(nodes), cfg.raw_message_dim))
+        msgs[0::2] = msg_src
+        msgs[1::2] = msg_dst
+        rt.state.write_mail(nodes, msgs, t_nodes)
+        return nodes, inverse, updated
+
+    def _gru_lut_np(self, raw: np.ndarray, dt: np.ndarray,
+                    memory: np.ndarray) -> np.ndarray:
+        """Updater step where ``W[:, time] @ Phi(dt)`` is one LUT read."""
+        return self.memory_updater.forward_numpy_premul(
+            raw, self.time_encoder.bin_index(dt),
+            self._premul_cache["updt"], memory)
+
+    def _gnn_numpy(self, nodes, t_nodes, g, updated, inverse, rt, graph):
+        """Embedding computation with gather-then-compute pruning."""
+        cfg = self.cfg
+        dt_nbr = np.maximum(t_nodes[:, None] - g.times, 0.0)
+        dt_nbr = np.where(g.mask, dt_nbr, 0.0)
+        self_feat = updated[inverse]
+        if self.node_proj is not None:
+            self_feat = self_feat + (graph.node_feat[nodes]
+                                     @ self.node_proj.weight.data.T
+                                     + self.node_proj.bias.data)
+
+        if isinstance(self.attention, SimplifiedTemporalAttention):
+            logits = self.attention.logits_numpy(dt_nbr * DT_SCALE)
+            if cfg.pruning_budget is not None:
+                idx, sel_mask = select_pruned(logits, g.mask,
+                                              cfg.pruning_budget)
+                rows = np.arange(len(nodes))[:, None]
+                nbrs = g.nbrs[rows, idx]
+                eids = g.eids[rows, idx]
+                sel_dt = dt_nbr[rows, idx]
+                sel_logits = logits[rows, idx]
+            else:
+                nbrs, eids, sel_dt = g.nbrs, g.eids, dt_nbr
+                sel_logits, sel_mask = logits, g.mask
+            nbr_feat = rt.state.memory[nbrs]
+            if self.node_proj is not None:
+                nbr_feat = nbr_feat + (graph.node_feat[nbrs]
+                                       @ self.node_proj.weight.data.T
+                                       + self.node_proj.bias.data)
+            e_feat = np.where(sel_mask[:, :, None],
+                              graph.edge_feat[eids], 0.0)
+            cache = self._premul_cache
+            if cache is not None and "attn_v" in cache:
+                # Values without the time matmul: lookup the premultiplied
+                # contribution and add it to the raw-feature product.
+                d_t = cfg.time_dim
+                w_v = self.attention.w_v
+                kv_raw = np.concatenate([nbr_feat, e_feat], axis=2)
+                values = (kv_raw @ w_v.weight.data[:, :-d_t].T
+                          + cache["attn_v"][self.time_encoder.bin_index(sel_dt)]
+                          + w_v.bias.data)
+                alpha = _masked_softmax_np(sel_logits, sel_mask)
+                hidden = np.einsum("nk,nke->ne", alpha, values)
+            else:
+                time_enc = self.time_encoder.encode_numpy(sel_dt)
+                hidden = self.attention.forward_numpy(
+                    nbr_feat, e_feat, time_enc, sel_logits, sel_mask)
+            full_logits, selected = logits, _expand_selection(
+                g.mask, cfg.pruning_budget, logits)
+        else:
+            nbr_feat = rt.state.memory[g.nbrs]
+            if self.node_proj is not None:
+                nbr_feat = nbr_feat + (graph.node_feat[g.nbrs]
+                                       @ self.node_proj.weight.data.T
+                                       + self.node_proj.bias.data)
+            e_feat = np.where(g.mask[:, :, None], graph.edge_feat[g.eids], 0.0)
+            time_enc = self.time_encoder.encode_numpy(dt_nbr)
+            time_zero = self.time_encoder.encode_numpy(np.zeros(len(nodes)))
+            hidden, full_logits = self.attention.forward_numpy(
+                self_feat, nbr_feat, e_feat, time_enc, time_zero, g.mask)
+            selected = g.mask
+
+        out = np.concatenate([hidden, self_feat], axis=1)
+        emb = out @ self.out_transform.weight.data.T + self.out_transform.bias.data
+        np.maximum(emb, 0.0, out=emb)
+        return emb, full_logits, selected
+
+
+def _expand_selection(mask: np.ndarray, budget: int | None,
+                      logits: np.ndarray) -> np.ndarray:
+    """Full-width selected-mask for reporting (mirrors top_k_mask)."""
+    if budget is None:
+        return mask
+    from .pruning import top_k_mask
+    return top_k_mask(logits, mask, budget)

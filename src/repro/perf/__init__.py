@@ -1,0 +1,14 @@
+"""Analytical performance models: §V equations, GPP baselines, validation."""
+
+from .characterize import (Characterization, characterize,  # noqa: F401
+                           lever_analysis)
+from .gpp import CPU_1T, CPU_32T, GPU, GPPCostModel  # noqa: F401
+from .performance_model import PerformanceModel, PerfPrediction  # noqa: F401
+from .validation import ValidationPoint, validate_performance_model  # noqa: F401
+
+__all__ = [
+    "PerformanceModel", "PerfPrediction",
+    "GPPCostModel", "CPU_1T", "CPU_32T", "GPU",
+    "ValidationPoint", "validate_performance_model",
+    "Characterization", "characterize", "lever_analysis",
+]

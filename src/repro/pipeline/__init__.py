@@ -1,0 +1,14 @@
+"""Streaming inference engines and real-time replay."""
+
+from .engine import (EngineReport, ModeledGPPBackend,  # noqa: F401
+                     SimulatedFPGABackend, SoftwareBackend, run_engine)
+from .queueing import QueueStats, replay_under_load  # noqa: F401
+from .realtime import (FIFTEEN_MINUTES, WindowPoint,  # noqa: F401
+                       realtime_replay, summarize)
+
+__all__ = [
+    "EngineReport", "SoftwareBackend", "SimulatedFPGABackend",
+    "ModeledGPPBackend", "run_engine",
+    "realtime_replay", "WindowPoint", "FIFTEEN_MINUTES", "summarize",
+    "QueueStats", "replay_under_load",
+]

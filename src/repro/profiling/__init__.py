@@ -1,0 +1,12 @@
+"""Operation counting and complexity tables (Tables I-II)."""
+
+from . import paper_reference  # noqa: F401
+from .breakdown import format_table, table1_breakdown, table2_ladder  # noqa: F401
+from .op_counter import (PARTS, Convention, OpCounts, count_ops,  # noqa: F401
+                         count_ops_apan)
+
+__all__ = [
+    "Convention", "OpCounts", "count_ops", "count_ops_apan", "PARTS",
+    "table1_breakdown", "table2_ladder", "format_table",
+    "paper_reference",
+]

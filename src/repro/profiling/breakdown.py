@@ -1,0 +1,84 @@
+"""Structured complexity tables: the Table I breakdown and Table II ladder.
+
+These functions return plain lists of dicts so benches can print them and
+tests can assert on them without parsing formatted text.
+"""
+
+from __future__ import annotations
+
+from ..models.config import ModelConfig, variant_ladder
+from .op_counter import PARTS, Convention, OpCounts, count_ops
+
+__all__ = ["table1_breakdown", "table2_ladder", "format_table"]
+
+
+def table1_breakdown(cfg: ModelConfig,
+                     convention: Convention = Convention.PAPER
+                     ) -> list[dict]:
+    """Per-part kMEM/kMAC rows (Table I structure) for one model config."""
+    counts = count_ops(cfg, convention)
+    total_mac = counts.total_macs
+    total_mem = counts.total_mems
+    rows = []
+    for part in PARTS:
+        rows.append({
+            "part": part,
+            "kMEM": counts.mems[part] / 1e3,
+            "kMEM_pct": 100.0 * counts.mems[part] / total_mem if total_mem else 0.0,
+            "kMAC": counts.macs[part] / 1e3,
+            "kMAC_pct": 100.0 * counts.macs[part] / total_mac if total_mac else 0.0,
+        })
+    rows.append({"part": "total", "kMEM": total_mem / 1e3, "kMEM_pct": 100.0,
+                 "kMAC": total_mac / 1e3, "kMAC_pct": 100.0})
+    return rows
+
+
+def table2_ladder(base: ModelConfig,
+                  convention: Convention = Convention.PAPER) -> list[dict]:
+    """Accumulated-optimization complexity rows (Table II structure).
+
+    AP and measured throughput are filled in by the benches (they require
+    training and timing); this function covers the analytic columns.
+    """
+    baseline = count_ops(base.with_(simplified_attention=False,
+                                    lut_time_encoder=False,
+                                    pruning_budget=None),
+                         convention)
+    rows = []
+    for cfg in variant_ladder(base):
+        c = count_ops(cfg, convention)
+        rows.append({
+            "model": cfg.name,
+            "neighbors": cfg.effective_neighbors,
+            "kMEM": c.total_mems / 1e3,
+            "kMEM_pct": 100.0 * c.total_mems / baseline.total_mems,
+            "kMAC_GRU": c.gru_macs / 1e3,
+            "kMAC_GNN": c.gnn_macs / 1e3,
+            "kMAC_total": c.total_macs / 1e3,
+            "kMAC_pct": 100.0 * c.total_macs / baseline.total_macs,
+            "config": cfg,
+        })
+    return rows
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 precision: int = 2) -> str:
+    """Fixed-width text rendering of a list-of-dicts table."""
+    if not rows:
+        return "(empty)"
+    columns = columns if columns is not None else \
+        [c for c in rows[0] if c != "config"]
+    cells = [[_fmt(row.get(c, ""), precision) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells))
+              for i, c in enumerate(columns)]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "-" * len(header)
+    body = "\n".join("  ".join(v.rjust(w) for v, w in zip(r, widths))
+                     for r in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)

@@ -1,0 +1,53 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Benches print paper-vs-measured tables to the console *and* persist them
+under ``results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["render_table", "save_result", "section"]
+
+
+def section(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 precision: int = 3, title: str | None = None) -> str:
+    """Fixed-width table; floats rendered at ``precision`` decimals."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else \
+        [c for c in rows[0] if not c.startswith("_")]
+
+    def fmt(v):
+        if isinstance(v, float):
+            return f"{v:.{precision}f}"
+        return str(v)
+
+    cells = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(str(c)), *(len(row[i]) for row in cells))
+              for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(section(title))
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(columns, widths)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_result(name: str, text: str, results_dir: str | None = None) -> str:
+    """Write ``text`` to ``results/<name>.txt``; returns the path."""
+    base = results_dir or os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(base, exist_ok=True)
+    path = os.path.join(base, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path

@@ -1,0 +1,13 @@
+"""Training: self-supervised link prediction, KD, and metrics."""
+
+from .distillation import (DistillationConfig, DistillationTrainer,  # noqa: F401
+                           attention_agreement, warm_start_student)
+from .metrics import average_precision, roc_auc  # noqa: F401
+from .self_supervised import EvalResult, TrainConfig, Trainer  # noqa: F401
+
+__all__ = [
+    "Trainer", "TrainConfig", "EvalResult",
+    "DistillationTrainer", "DistillationConfig", "attention_agreement",
+    "warm_start_student",
+    "average_precision", "roc_auc",
+]

@@ -1,0 +1,72 @@
+"""Evaluation metrics for temporal link prediction.
+
+Average Precision (the paper's accuracy metric in Table II / Fig. 7) and
+ROC-AUC, implemented directly on score arrays so no sklearn dependency is
+needed.  Both match the standard definitions:
+
+* AP — area under the precision-recall curve using the step-wise
+  interpolation ``sum_k (R_k - R_{k-1}) * P_k`` over descending scores;
+* AUC — Mann-Whitney U statistic with midrank tie handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["average_precision", "roc_auc"]
+
+
+def average_precision(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision of binary ``labels`` ranked by ``scores``.
+
+    Ties in scores are handled by grouping (all tied predictions enter the
+    ranking together), matching scikit-learn's implementation.
+    """
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same length")
+    n_pos = labels.sum()
+    if n_pos == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1.0 - sorted_labels)
+    # Collapse tied-score groups to their final (cumulative) counts.
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    boundary = np.concatenate([distinct, [len(sorted_scores) - 1]])
+    tp_b, fp_b = tp[boundary], fp[boundary]
+    precision = tp_b / (tp_b + fp_b)
+    recall = tp_b / n_pos
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """ROC-AUC via the rank-sum formulation (midranks for ties)."""
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    n_pos = labels.sum()
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    ranks = _midranks(scores)
+    u = ranks[labels > 0].sum() - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def _midranks(x: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the group mean rank."""
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(len(x), dtype=np.float64)
+    sx = x[order]
+    i = 0
+    while i < len(sx):
+        j = i
+        while j + 1 < len(sx) and sx[j + 1] == sx[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks

@@ -1,0 +1,54 @@
+"""Property-based invariants of the queueing replay and batching."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TemporalGraph, iter_fixed_size, iter_time_windows
+from repro.pipeline import replay_under_load
+
+settings.register_profile("repro", deadline=None, max_examples=30)
+settings.load_profile("repro")
+
+
+@st.composite
+def stream(draw):
+    n = draw(st.integers(5, 60))
+    gaps = draw(st.lists(st.floats(0.1, 500.0), min_size=n, max_size=n))
+    t = np.cumsum(gaps)
+    src = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    dst = draw(st.lists(st.integers(6, 9), min_size=n, max_size=n))
+    return TemporalGraph(src, dst, t)
+
+
+class ConstBackend:
+    def __init__(self, service_s: float):
+        self.service_s = service_s
+
+    def process_batch(self, batch) -> float:
+        return self.service_s
+
+
+class TestQueueingProperties:
+    @given(stream(), st.floats(1e-4, 0.5), st.floats(1.0, 100.0))
+    def test_response_at_least_service(self, g, service, speedup):
+        stats = replay_under_load(ConstBackend(service), g,
+                                  window_s=600.0, speedup=speedup)
+        assert stats.mean_response_s >= service - 1e-12
+        assert stats.mean_response_s >= stats.mean_wait_s
+        assert stats.windows >= 1
+
+    @given(stream(), st.floats(0.01, 0.2))
+    def test_more_load_never_reduces_waiting(self, g, service):
+        lo = replay_under_load(ConstBackend(service), g, window_s=600.0,
+                               speedup=1.0)
+        hi = replay_under_load(ConstBackend(service), g, window_s=600.0,
+                               speedup=1000.0)
+        assert hi.utilization >= lo.utilization - 1e-9
+        assert hi.mean_wait_s >= lo.mean_wait_s - 1e-9
+
+    @given(stream(), st.integers(1, 10))
+    def test_windows_and_fixed_batches_cover_same_edges(self, g, size):
+        from_windows = sum(len(b) for b in iter_time_windows(g, 600.0))
+        from_fixed = sum(len(b) for b in iter_fixed_size(g, size))
+        assert from_windows == from_fixed == g.num_edges

@@ -1,0 +1,119 @@
+"""Property-based invariants of the graph substrate and hardware Updater.
+
+These are the correctness properties DESIGN.md §5 commits to:
+
+* the neighbor table always holds exactly the ``min(history, mr)`` most
+  recent interactions, timestamp-sorted;
+* the Updater's surviving writes equal the last-write-wins oracle whenever
+  its invalidation window covers the batch;
+* the mailbox implements the Most-Recent aggregator.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import NeighborTable, VertexState
+from repro.hw import UpdaterCache
+
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")
+
+N_NODES = 8
+
+
+@st.composite
+def edge_stream(draw, max_edges=30):
+    n = draw(st.integers(1, max_edges))
+    src = draw(st.lists(st.integers(0, N_NODES - 1), min_size=n, max_size=n))
+    dst = draw(st.lists(st.integers(0, N_NODES - 1), min_size=n, max_size=n))
+    gaps = draw(st.lists(st.floats(0.0, 10.0), min_size=n, max_size=n))
+    t = np.cumsum(np.asarray(gaps)) + 1.0
+    return (np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64),
+            np.arange(n, dtype=np.int64), t)
+
+
+class TestNeighborTableInvariant:
+    @given(edge_stream(), st.integers(1, 5), st.integers(1, 6))
+    def test_matches_oracle(self, stream, mr, n_batches):
+        src, dst, eid, t = stream
+        table = NeighborTable(N_NODES, mr=mr)
+        # Insert in arbitrary batch partitions (stream order preserved).
+        cuts = np.linspace(0, len(src), n_batches + 1).astype(int)
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            table.insert_edges(src[lo:hi], dst[lo:hi], eid[lo:hi], t[lo:hi])
+        # Oracle: per-vertex full history, most recent mr, in stream order.
+        hist = {v: [] for v in range(N_NODES)}
+        for s, d, e, ts in zip(src, dst, eid, t):
+            hist[s].append((d, e, ts))
+            hist[d].append((s, e, ts))
+        for v in range(N_NODES):
+            g = table.gather(np.array([v]))
+            got = list(zip(g.nbrs[0][g.mask[0]], g.eids[0][g.mask[0]],
+                           g.times[0][g.mask[0]]))
+            expect = hist[v][-mr:]
+            assert len(got) == len(expect), v
+            # Same multiset and same chronological order of timestamps.
+            assert [x[2] for x in got] == [x[2] for x in expect]
+            assert sorted((x[0], x[1]) for x in got) \
+                == sorted((x[0], x[1]) for x in expect)
+
+    @given(edge_stream(), st.integers(1, 5))
+    def test_gather_times_sorted_and_mask_prefix(self, stream, mr):
+        src, dst, eid, t = stream
+        table = NeighborTable(N_NODES, mr=mr)
+        table.insert_edges(src, dst, eid, t)
+        g = table.gather(np.arange(N_NODES))
+        for row in range(N_NODES):
+            valid = g.mask[row]
+            # Valid entries form a prefix.
+            if valid.any():
+                first_invalid = np.argmin(valid) if not valid.all() else mr
+                assert valid[:first_invalid].all()
+                assert not valid[first_invalid:].any()
+            times = g.times[row][valid]
+            assert np.all(np.diff(times) >= 0)
+
+
+class TestUpdaterOracle:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=60),
+           st.integers(1, 4))
+    def test_survivors_equal_last_write_when_window_covers(self, ids, scan):
+        ids = np.asarray(ids, dtype=np.int64)
+        u = UpdaterCache(lines=len(ids) + 1, scan_width=scan)
+        r = u.process(ids)
+        oracle = sorted({v: i for i, v in enumerate(ids)}.values())
+        assert np.array_equal(r.survivors, oracle)
+        assert r.committed + r.invalidated == len(ids)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60),
+           st.integers(2, 8), st.integers(1, 4))
+    def test_committed_set_always_includes_final_value(self, ids, lines, scan):
+        """Whatever the window, each vertex's LAST write always survives."""
+        ids = np.asarray(ids, dtype=np.int64)
+        r = UpdaterCache(lines=lines, scan_width=scan).process(ids)
+        last_idx = {v: i for i, v in enumerate(ids)}
+        assert set(last_idx.values()) <= set(r.survivors.tolist())
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_timing_bounds(self, ids):
+        ids = np.asarray(ids, dtype=np.int64)
+        r = UpdaterCache(lines=8, scan_width=3).process(ids)
+        assert len(ids) <= r.cycles <= 3 * len(ids) + 8
+
+
+class TestMailboxMostRecent:
+    @given(st.lists(st.tuples(st.integers(0, 4), st.floats(0, 100)),
+                    min_size=1, max_size=40))
+    def test_mailbox_keeps_latest_write_per_vertex(self, writes):
+        state = VertexState(5, memory_dim=2, raw_message_dim=3)
+        latest = {}
+        for i, (v, _t) in enumerate(writes):
+            latest[v] = i
+        vs = np.array([w[0] for w in writes])
+        ts = np.array([w[1] for w in writes])
+        msgs = np.arange(len(writes), dtype=float)[:, None] * np.ones(3)
+        state.write_mail(vs, msgs, ts)
+        for v, idx in latest.items():
+            assert np.allclose(state.mailbox[v], msgs[idx])
+            assert state.mail_time[v] == ts[idx]

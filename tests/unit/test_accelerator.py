@@ -1,0 +1,151 @@
+"""Unit tests for the FPGA accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import wikipedia_like
+from repro.graph import iter_fixed_size
+from repro.hw import (FPGAAccelerator, U200_DESIGN, ZCU104_DESIGN,
+                      estimate_resources)
+from repro.models import ModelConfig, TGNN
+from repro.profiling.paper_reference import TABLE4
+
+CFG = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=172,
+                  num_neighbors=4, simplified_attention=True,
+                  lut_time_encoder=True, lut_bins=8, pruning_budget=2)
+
+
+def build(hw=None):
+    g = wikipedia_like(num_edges=600, num_users=80, num_items=20)
+    model = TGNN(CFG, rng=np.random.default_rng(0))
+    model.calibrate(g)
+    return g, model, FPGAAccelerator(model, hw or ZCU104_DESIGN)
+
+
+class TestFunctional:
+    def test_rejects_vanilla_attention(self):
+        g = wikipedia_like(num_edges=50, num_users=20, num_items=5)
+        vanilla = TGNN(CFG.with_(simplified_attention=False,
+                                 lut_time_encoder=False, pruning_budget=None),
+                       rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="simplified"):
+            FPGAAccelerator(vanilla, ZCU104_DESIGN)
+
+    def test_embeddings_bit_identical_to_software(self):
+        g, model, acc = build()
+        report = acc.run_stream(g, batch_size=100, end=400,
+                                collect_embeddings=True)
+        # Software reference with identical state evolution.
+        ref_model = TGNN(CFG, rng=np.random.default_rng(0))
+        ref_model.calibrate(g)
+        ref_model.load_state_dict(model.state_dict())
+        ref_model.prepare_inference()
+        rt = ref_model.new_runtime(g)
+        ref = []
+        for batch in iter_fixed_size(g, 100, end=400):
+            for lo in range(0, len(batch), acc.hw.nb):
+                from repro.hw.accelerator import _slice_batch
+                sub = _slice_batch(batch, lo, min(lo + acc.hw.nb, len(batch)))
+                ref.append(ref_model.infer_batch(sub, rt, g).embeddings.data)
+        assert len(ref) == len(report.embeddings)
+        for a, b in zip(ref, report.embeddings):
+            assert np.array_equal(a, b)
+
+    def test_updater_counts_duplicates(self):
+        g, model, acc = build()
+        report = acc.run_stream(g, batch_size=200, end=600)
+        assert report.updater_invalidated > 0      # repeat vertices exist
+        assert report.updater_committed + report.updater_invalidated \
+            == 2 * report.n_edges
+
+
+class TestTiming:
+    def test_report_consistency(self):
+        g, model, acc = build()
+        report = acc.run_stream(g, batch_size=100, end=400)
+        assert report.n_edges == 400
+        assert report.total_s > 0
+        assert len(report.batch_latencies_s) == 4
+        assert report.throughput_eps == pytest.approx(400 / report.total_s)
+        assert report.mean_latency_s > 0
+
+    def test_throughput_improves_with_batch_size(self):
+        g, model, acc = build()
+        small = acc.run_stream(g, batch_size=20, end=200)
+        acc2 = FPGAAccelerator(model, ZCU104_DESIGN)
+        large = acc2.run_stream(g, batch_size=200, end=200)
+        assert large.throughput_eps >= small.throughput_eps * 0.95
+
+    def test_u200_faster_than_zcu104(self):
+        g, model, _ = build()
+        u = FPGAAccelerator(model, U200_DESIGN).run_stream(g, 200, end=600)
+        z = FPGAAccelerator(model, ZCU104_DESIGN).run_stream(g, 200, end=600)
+        assert u.throughput_eps > 2 * z.throughput_eps
+        assert u.mean_latency_s < z.mean_latency_s
+
+    def test_prefetch_ablation_slower(self):
+        g, model, _ = build()
+        on = FPGAAccelerator(model, ZCU104_DESIGN)
+        off = FPGAAccelerator(model, ZCU104_DESIGN.with_(prefetch=False))
+        t_on = on.run_stream(g, 200, end=600).total_s
+        t_off = off.run_stream(g, 200, end=600).total_s
+        assert t_off >= t_on
+
+    def test_pruning_budget_speeds_up(self):
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=15)
+        results = {}
+        for budget in (4, 2):
+            cfg = CFG.with_(pruning_budget=budget)
+            m = TGNN(cfg, rng=np.random.default_rng(0))
+            m.calibrate(g)
+            rep = FPGAAccelerator(m, ZCU104_DESIGN).run_stream(g, 200, end=400)
+            results[budget] = rep.total_s
+        assert results[2] <= results[4]
+
+    def test_latency_single_batch(self):
+        g, model, acc = build()
+        lat = acc.latency_single_batch(g, batch_size=100, warmup_edges=200)
+        assert lat > 0
+
+    def test_stage_times_cover_pipeline(self):
+        g, model, acc = build()
+        report = acc.run_stream(g, batch_size=100, end=300)
+        for key in ("load_edges", "load_vertex", "prefetch", "store",
+                    "muu_update_gate", "eu_fam", "eu_ftm"):
+            assert report.stage_time_s.get(key, 0.0) > 0.0, key
+
+
+class TestResources:
+    def test_u200_estimate_near_table4(self):
+        est = estimate_resources(ModelConfig(simplified_attention=True,
+                                             lut_time_encoder=True,
+                                             pruning_budget=4), U200_DESIGN)
+        ref = TABLE4["u200"]
+        assert est.dsp == pytest.approx(ref["dsp"], rel=0.25)
+        assert est.lut == pytest.approx(ref["lut"], rel=0.25)
+        assert est.bram == pytest.approx(ref["bram"], rel=0.25)
+        assert est.uram == pytest.approx(ref["uram"], rel=0.25)
+        assert est.fits
+
+    def test_zcu104_estimate_near_table4(self):
+        est = estimate_resources(ModelConfig(simplified_attention=True,
+                                             lut_time_encoder=True,
+                                             pruning_budget=4), ZCU104_DESIGN)
+        ref = TABLE4["zcu104"]
+        assert est.uram == 0                      # matches published design
+        assert est.dsp == pytest.approx(ref["dsp"], rel=0.5)
+        assert est.lut == pytest.approx(ref["lut"], rel=0.25)
+        assert est.bram == pytest.approx(ref["bram"], rel=0.35)
+        assert est.fits
+
+    def test_dsp_scales_with_parallelism(self):
+        cfg = ModelConfig(simplified_attention=True)
+        small = estimate_resources(cfg, ZCU104_DESIGN)
+        big = estimate_resources(cfg, ZCU104_DESIGN.with_(sg=8))
+        assert big.dsp > small.dsp
+
+    def test_utilization_fractions(self):
+        cfg = ModelConfig(simplified_attention=True, lut_time_encoder=True)
+        est = estimate_resources(cfg, U200_DESIGN)
+        util = est.utilization(U200_DESIGN)
+        assert 0 < util["dsp"] < 1 and 0 < util["lut"] < 1

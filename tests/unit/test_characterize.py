@@ -1,0 +1,70 @@
+"""Unit tests for the §III bottleneck-characterization API."""
+
+import pytest
+
+from repro.hw import U200_DESIGN, ZCU104_DESIGN
+from repro.models import ModelConfig
+from repro.perf import characterize, lever_analysis
+
+SAT = ModelConfig(simplified_attention=True)
+
+
+class TestCharacterize:
+    def test_published_points_are_compute_bound(self):
+        for hw in (U200_DESIGN, ZCU104_DESIGN):
+            c = characterize(SAT, hw)
+            assert c.bound == "compute"
+            assert c.compute_margin > 1.0
+            assert c.dominant_stage in ("muu_update_gate", "muu_reset_gate",
+                                        "muu_memory_gate", "eu_ftm")
+
+    def test_section3_key_point_1_gnn_dominates(self):
+        c = characterize(ModelConfig(simplified_attention=True), U200_DESIGN)
+        # Baseline (non-SAT) GNN share is even larger; SAT still > 70 %.
+        assert c.gnn_share_of_macs > 0.7
+
+    def test_section3_key_point_2_time_encoding_removable(self):
+        c = characterize(SAT, U200_DESIGN)
+        assert 0.05 < c.time_encoding_share < 0.5
+        lut = characterize(SAT.with_(lut_time_encoder=True), U200_DESIGN)
+        assert lut.time_encoding_share == 0.0
+
+    def test_section3_key_point_3_state_traffic_dominates_mems(self):
+        c = characterize(SAT, U200_DESIGN)
+        assert c.state_traffic_share > 0.8
+
+    def test_memory_bound_regime_reachable(self):
+        """Starve bandwidth enough and the verdict flips."""
+        from repro.hw.platforms import FPGAPlatform
+        p = ZCU104_DESIGN.platform
+        thin = FPGAPlatform(name="thin", dies=1, luts_per_die=p.luts_per_die,
+                            dsps_per_die=p.dsps_per_die,
+                            brams_per_die=p.brams_per_die,
+                            urams_per_die=p.urams_per_die,
+                            ddr_bw_gbs=0.05)
+        hw = ZCU104_DESIGN.with_(platform=thin, sg=16, s_ftm=(16, 16))
+        c = characterize(SAT, hw)
+        assert c.bound == "memory"
+
+
+class TestLeverAnalysis:
+    def test_rows_and_ratios(self):
+        rows = lever_analysis(SAT, ZCU104_DESIGN)
+        by = {r["lever"]: r for r in rows}
+        assert set(by) == {"lut_encoder", "pruning_np_s", "double_sg",
+                           "double_bandwidth"}
+        for r in rows:
+            assert r["latency_ratio"] > 0
+
+    def test_compute_levers_help_on_compute_bound_design(self):
+        rows = lever_analysis(SAT, ZCU104_DESIGN)
+        by = {r["lever"]: r for r in rows}
+        assert by["double_sg"]["helps"]
+        assert by["lut_encoder"]["latency_ratio"] <= 1.0
+        # On a compute-bound design, doubling bandwidth buys ~nothing.
+        assert by["double_bandwidth"]["latency_ratio"] \
+            == pytest.approx(1.0, abs=0.05)
+
+    def test_accepts_vanilla_base(self):
+        rows = lever_analysis(ModelConfig(), ZCU104_DESIGN)
+        assert len(rows) == 4

@@ -1,0 +1,90 @@
+"""Unit tests for the CLI (in-process invocation, no subprocesses)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(x) for x in lines)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestInfo:
+    def test_lists_datasets_and_designs(self):
+        code, text = run(["info"])
+        assert code == 0
+        assert "wikipedia" in text and "gdelt" in text
+        assert "u200" in text and "zcu104" in text
+
+
+class TestTrainEvalInfer:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("ckpt") / "model.npz")
+        code, text = run([
+            "train", "--dataset", "wikipedia", "--edges", "600",
+            "--epochs", "1", "--batch-size", "100", "--memory-dim", "12",
+            "--neighbors", "4", "--simplified", "--lut", "--prune", "2",
+            "--out", path])
+        assert code == 0
+        assert "saved checkpoint" in text
+        return path
+
+    def test_eval(self, checkpoint):
+        code, text = run(["eval", "--model", checkpoint,
+                          "--dataset", "wikipedia", "--edges", "600"])
+        assert code == 0
+        assert "AP" in text
+
+    def test_infer_software(self, checkpoint):
+        code, text = run(["infer", "--model", checkpoint,
+                          "--dataset", "wikipedia", "--edges", "600",
+                          "--backend", "software"])
+        assert code == 0
+        assert "kE/s" in text and "measured" in text
+
+    def test_infer_simulated(self, checkpoint):
+        code, text = run(["infer", "--model", checkpoint,
+                          "--dataset", "wikipedia", "--edges", "600",
+                          "--backend", "zcu104"])
+        assert code == 0
+        assert "simulated (zcu104)" in text
+
+    def test_distillation_path(self, checkpoint, tmp_path):
+        student = str(tmp_path / "student.npz")
+        code, text = run([
+            "train", "--dataset", "wikipedia", "--edges", "600",
+            "--epochs", "1", "--batch-size", "100", "--memory-dim", "12",
+            "--neighbors", "4", "--simplified",
+            "--teacher", checkpoint, "--out", student])
+        assert code == 0
+        assert "distilled" in text
+        assert os.path.exists(student)
+
+
+class TestDseTrace:
+    def test_dse_prints_frontier(self):
+        code, text = run(["dse", "--platform", "zcu104", "--prune", "2"])
+        assert code == 0
+        assert "frontier" in text and "DSP" in text
+
+    def test_trace_prints_gantt(self):
+        code, text = run(["trace", "--platform", "zcu104",
+                          "--batches", "2", "--width", "60"])
+        assert code == 0
+        assert "|" in text
+        assert "pipeline overlap" in text

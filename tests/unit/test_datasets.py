@@ -1,0 +1,121 @@
+"""Unit tests for synthetic stream generators and Δt statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (StreamSpec, delta_t_histogram,
+                            encoder_input_deltas, equal_frequency_edges,
+                            gdelt_like, generate_stream, load, reddit_like,
+                            tail_heaviness, wikipedia_like)
+from repro.graph import TemporalGraph
+
+
+class TestGenerators:
+    def test_wikipedia_like_shape(self):
+        g = wikipedia_like(num_edges=500, num_users=100, num_items=20)
+        assert g.num_edges == 500
+        assert g.num_nodes == 120
+        assert g.edge_dim == 172 and g.node_dim == 0
+
+    def test_reddit_like_shape(self):
+        g = reddit_like(num_edges=300, num_users=50, num_items=10)
+        assert g.edge_dim == 172
+
+    def test_gdelt_like_node_features(self):
+        g = gdelt_like(num_edges=300, num_users=50, num_items=50)
+        assert g.edge_dim == 0 and g.node_dim == 200
+        assert g.node_feat.shape == (100, 200)
+
+    def test_bipartite_structure(self):
+        g = wikipedia_like(num_edges=400, num_users=80, num_items=20)
+        assert g.src.max() < 80           # users on the left
+        assert g.dst.min() >= 80          # items on the right
+
+    def test_chronological(self):
+        g = reddit_like(num_edges=400, num_users=60, num_items=12)
+        assert np.all(np.diff(g.t) >= 0)
+
+    def test_deterministic_by_seed(self):
+        a = wikipedia_like(num_edges=200, seed=7, num_users=40, num_items=10)
+        b = wikipedia_like(num_edges=200, seed=7, num_users=40, num_items=10)
+        assert np.array_equal(a.dst, b.dst)
+        assert np.allclose(a.edge_feat, b.edge_feat)
+        c = wikipedia_like(num_edges=200, seed=8, num_users=40, num_items=10)
+        assert not np.array_equal(a.dst, c.dst)
+
+    def test_duration_matches_spec(self):
+        spec = StreamSpec(name="x", num_users=30, num_items=10,
+                          num_edges=200, edge_dim=4, node_dim=0,
+                          duration_days=10.0)
+        g = generate_stream(spec)
+        assert g.t[-1] <= 10.0 * 86_400.0 + 1e-6
+
+    def test_repeat_behaviour_creates_repeat_edges(self):
+        g = reddit_like(num_edges=1000, num_users=100, num_items=20)
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert len(pairs) < g.num_edges  # repeats exist
+
+    def test_registry(self):
+        g = load("wikipedia", num_edges=100, num_users=30, num_items=10)
+        assert isinstance(g, TemporalGraph)
+        with pytest.raises(KeyError):
+            load("imagenet")
+
+
+class TestDeltaStats:
+    def test_encoder_deltas_count(self):
+        g = wikipedia_like(num_edges=200, num_users=40, num_items=10)
+        d = encoder_input_deltas(g)
+        assert len(d) == 2 * g.num_edges
+        assert np.all(d >= 0)
+
+    def test_first_appearance_delta_zero(self):
+        g = TemporalGraph([0, 0], [1, 2], [5.0, 7.0])
+        d = encoder_input_deltas(g)
+        # src=0 first appears -> 0; dst=1 first -> 0; then src=0 gap=2, dst=2 -> 0.
+        assert np.allclose(np.sort(d), [0.0, 0.0, 0.0, 2.0])
+
+    def test_histogram_total(self):
+        g = wikipedia_like(num_edges=300, num_users=50, num_items=10)
+        d = encoder_input_deltas(g)
+        edges, counts = delta_t_histogram(d, n_bins=20)
+        assert counts.sum() == len(d)
+        assert len(edges) == 21
+
+    def test_power_law_shape(self):
+        """Fig. 1 reproduction target: mass concentrated near Δt = 0."""
+        g = wikipedia_like(num_edges=3000, num_users=300, num_items=50)
+        d = encoder_input_deltas(g)
+        _, counts = delta_t_histogram(d, n_bins=30)
+        assert counts[0] > counts[5] > counts[-1]
+        assert counts[0] > 0.3 * counts.sum()
+
+    def test_tail_heaviness_flags_bursty(self):
+        g = reddit_like(num_edges=3000, num_users=300, num_items=40)
+        d = encoder_input_deltas(g)
+        assert tail_heaviness(d) < 0.6  # heavier than exponential
+
+
+class TestEqualFrequencyEdges:
+    def test_partition_properties(self):
+        rng = np.random.default_rng(0)
+        d = rng.pareto(1.5, size=5000)
+        edges = equal_frequency_edges(d, n_bins=16)
+        assert len(edges) == 17
+        assert edges[0] == 0.0 and edges[-1] == np.inf
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_mass_roughly_equal(self):
+        rng = np.random.default_rng(1)
+        d = rng.exponential(1.0, size=8000)
+        edges = equal_frequency_edges(d, n_bins=8)
+        idx = np.clip(np.searchsorted(edges, d, side="right") - 1, 0, 7)
+        counts = np.bincount(idx, minlength=8)
+        assert counts.min() > 0.5 * len(d) / 8
+        assert counts.max() < 2.0 * len(d) / 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equal_frequency_edges(np.array([1.0]), n_bins=0)
+        with pytest.raises(ValueError):
+            equal_frequency_edges(np.array([]), n_bins=4)

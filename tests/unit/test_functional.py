@@ -1,0 +1,119 @@
+"""Unit tests for differentiable functional blocks."""
+
+import numpy as np
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        s = F.softmax(x, axis=-1).data
+        assert np.allclose(s.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_extreme_values_stable(self):
+        x = Tensor(np.array([[1e30, 0.0, -1e30]]))
+        s = F.softmax(x).data
+        assert np.all(np.isfinite(s))
+        assert np.allclose(s, [[1.0, 0.0, 0.0]])
+
+    def test_log_softmax_consistency(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 6)))
+        assert np.allclose(F.log_softmax(x).data,
+                           np.log(F.softmax(x).data), atol=1e-12)
+
+    def test_softmax_gradient(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 4)),
+                   requires_grad=True)
+        check_gradients(lambda t: (F.softmax(t) ** 2).sum(), [x])
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_zero(self):
+        x = Tensor(np.zeros((2, 4)))
+        mask = np.array([[True, True, False, False],
+                         [True, False, False, False]])
+        s = F.masked_softmax(x, mask).data
+        assert np.allclose(s[0], [0.5, 0.5, 0.0, 0.0])
+        assert np.allclose(s[1], [1.0, 0.0, 0.0, 0.0])
+
+    def test_fully_masked_row_is_zero_not_nan(self):
+        x = Tensor(np.ones((1, 3)))
+        s = F.masked_softmax(x, np.zeros((1, 3), dtype=bool)).data
+        assert np.allclose(s, 0.0)
+        assert np.all(np.isfinite(s))
+
+    def test_gradient_flows_only_through_valid(self):
+        mask = np.array([[True, True, False]])
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        (F.masked_softmax(x, mask) ** 2).sum().backward()
+        assert x.grad[0, 2] == 0.0
+        check_gradients(lambda t: (F.masked_softmax(t, mask) ** 2).sum(), [x])
+
+
+class TestLosses:
+    def test_bce_matches_reference(self):
+        logits = np.array([0.0, 2.0, -2.0])
+        targets = np.array([1.0, 1.0, 0.0])
+        got = F.bce_with_logits(Tensor(logits), targets).item()
+        p = 1.0 / (1.0 + np.exp(-logits))
+        ref = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert abs(got - ref) < 1e-10
+
+    def test_bce_extreme_logits_finite(self):
+        out = F.bce_with_logits(Tensor([1000.0, -1000.0]),
+                                np.array([0.0, 1.0]))
+        assert np.isfinite(out.item())
+
+    def test_bce_gradient(self):
+        x = Tensor(np.random.default_rng(0).normal(size=6),
+                   requires_grad=True)
+        t = np.random.default_rng(1).integers(0, 2, 6).astype(float)
+        check_gradients(lambda z: F.bce_with_logits(z, t), [x])
+
+    def test_soft_ce_minimized_when_matching(self):
+        teacher = np.array([[2.0, 0.0, -1.0]])
+        same = F.soft_cross_entropy(Tensor(teacher), teacher).item()
+        worse = F.soft_cross_entropy(Tensor(-teacher), teacher).item()
+        assert same < worse
+
+    def test_soft_ce_temperature_softens(self):
+        teacher = np.array([[5.0, 0.0, 0.0]])
+        student = Tensor(np.array([[0.0, 5.0, 0.0]]))
+        hot = F.soft_cross_entropy(student, teacher, temperature=10.0).item()
+        cold = F.soft_cross_entropy(student, teacher, temperature=0.5).item()
+        assert hot < cold  # high T -> softer targets -> smaller penalty
+
+    def test_soft_ce_masked_rows(self):
+        teacher = np.array([[1.0, 2.0, 9.9], [0.0, 0.0, 0.0]])
+        mask = np.array([[True, True, False], [False, False, False]])
+        student = Tensor(np.array([[1.0, 2.0, -5.0], [7.0, 7.0, 7.0]]),
+                         requires_grad=True)
+        loss = F.soft_cross_entropy(student, teacher, mask=mask)
+        loss.backward()
+        # Masked column and fully-masked row contribute no gradient.
+        assert np.allclose(student.grad[0, 2], 0.0)
+        assert np.allclose(student.grad[1], 0.0)
+
+    def test_soft_ce_gradient(self):
+        teacher = np.random.default_rng(2).normal(size=(3, 4))
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 4)),
+                   requires_grad=True)
+        check_gradients(
+            lambda t: F.soft_cross_entropy(t, teacher, temperature=2.0), [x])
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert abs(F.mse_loss(pred, np.array([0.0, 0.0])).item() - 2.5) < 1e-12
+
+    def test_dot_rows(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.full((2, 3), 2.0))
+        assert np.allclose(F.dot_rows(a, b).data, [6.0, 6.0])

@@ -1,0 +1,89 @@
+"""Unit tests for MUU / EU timing models and functional kernels."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.hw import (EU_STAGES, MUU_STAGES, EmbeddingUnit,
+                      MemoryUpdateUnit, ZCU104_DESIGN)
+from repro.models import ModelConfig, TGNN
+from repro.models.attention import _masked_softmax_np
+
+CFG = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=12,
+                  num_neighbors=4, simplified_attention=True)
+
+
+class TestMUUTiming:
+    def test_stage_names(self):
+        muu = MemoryUpdateUnit(CFG, ZCU104_DESIGN)
+        assert set(muu.stage_cycles(16)) == set(MUU_STAGES)
+
+    def test_cycles_scale_with_nodes(self):
+        muu = MemoryUpdateUnit(CFG, ZCU104_DESIGN)
+        a = muu.stage_cycles(16)
+        b = muu.stage_cycles(32)
+        assert b["muu_update_gate"] == 2 * a["muu_update_gate"]
+
+    def test_bigger_array_fewer_cycles(self):
+        small = MemoryUpdateUnit(CFG, ZCU104_DESIGN)
+        big = MemoryUpdateUnit(CFG, ZCU104_DESIGN.with_(sg=8))
+        assert big.stage_cycles(32)["muu_update_gate"] \
+            < small.stage_cycles(32)["muu_update_gate"]
+
+    def test_lut_removes_time_slice_and_encoder(self):
+        lut_cfg = CFG.with_(lut_time_encoder=True)
+        plain = MemoryUpdateUnit(CFG, ZCU104_DESIGN).stage_cycles(32)
+        lut = MemoryUpdateUnit(lut_cfg, ZCU104_DESIGN).stage_cycles(32)
+        assert lut["muu_update_gate"] < plain["muu_update_gate"]
+
+    def test_functional_matches_model(self):
+        model = TGNN(CFG, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        raw = rng.normal(size=(5, CFG.raw_message_dim))
+        dt = rng.uniform(0, 10, 5)
+        mem = rng.normal(size=(5, CFG.memory_dim))
+        a = MemoryUpdateUnit.functional(model, raw, dt, mem)
+        b = model.memory_updater.forward_numpy(raw, dt, mem)
+        assert np.allclose(a, b)
+
+
+class TestEUTiming:
+    def test_stage_names(self):
+        eu = EmbeddingUnit(CFG, ZCU104_DESIGN)
+        assert set(eu.stage_cycles(16)) == set(EU_STAGES)
+
+    def test_pruning_reduces_fam_not_am(self):
+        pruned = CFG.with_(pruning_budget=2)
+        full = EmbeddingUnit(CFG, ZCU104_DESIGN).stage_cycles(32)
+        np_ = EmbeddingUnit(pruned, ZCU104_DESIGN).stage_cycles(32)
+        assert np_["eu_fam"] < full["eu_fam"]
+        # Logits still computed over all k sampled neighbors.
+        assert np_["eu_attention"] == full["eu_attention"]
+
+    def test_fam_parallelism(self):
+        narrow = EmbeddingUnit(CFG, ZCU104_DESIGN.with_(s_fam=4))
+        wide = EmbeddingUnit(CFG, ZCU104_DESIGN.with_(s_fam=16))
+        assert wide.stage_cycles(32)["eu_fam"] < narrow.stage_cycles(32)["eu_fam"]
+
+    def test_aggregate_then_transform_equals_per_neighbor_values(self):
+        """Linearity reordering (FAM before value weights) is exact."""
+        model = TGNN(CFG, rng=np.random.default_rng(2))
+        rng = np.random.default_rng(3)
+        n, k = 6, CFG.num_neighbors
+        nbr = rng.normal(size=(n, k, CFG.memory_dim))
+        ef = rng.normal(size=(n, k, CFG.edge_dim))
+        te = rng.normal(size=(n, k, CFG.time_dim))
+        logits = rng.normal(size=(n, k))
+        mask = rng.random((n, k)) < 0.8
+        mask[:, 0] = True
+        self_feat = rng.normal(size=(n, CFG.memory_dim))
+        ef_m = np.where(mask[:, :, None], ef, 0.0)
+
+        via_hw = EmbeddingUnit.functional(model, nbr, ef_m, te, logits,
+                                          mask, self_feat)
+        # Per-neighbor values reference (the software formulation).
+        hidden = model.attention.forward_numpy(nbr, ef_m, te, logits, mask)
+        out = np.concatenate([hidden, self_feat], axis=1)
+        ref = np.maximum(out @ model.out_transform.weight.data.T
+                         + model.out_transform.bias.data, 0.0)
+        assert np.allclose(via_hw, ref, atol=1e-10)

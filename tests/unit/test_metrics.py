@@ -1,0 +1,84 @@
+"""Unit tests for AP / AUC metrics against hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.training import average_precision, roc_auc
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert average_precision(labels, scores) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        labels = np.array([1, 0, 0, 0])
+        scores = np.array([0.0, 0.5, 0.6, 0.7])
+        assert average_precision(labels, scores) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # Ranking: P N P N -> AP = (1/1)*0.5 + (2/3)*0.5 = 0.8333...
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        assert average_precision(labels, scores) == pytest.approx(5.0 / 6.0)
+
+    def test_tied_scores_grouped(self):
+        labels = np.array([1, 0])
+        scores = np.array([0.5, 0.5])
+        # Tie group: precision 0.5 at recall 1.
+        assert average_precision(labels, scores) == pytest.approx(0.5)
+
+    def test_no_positives(self):
+        assert average_precision(np.zeros(4), np.arange(4.0)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            average_precision(np.ones(3), np.ones(4))
+
+    def test_matches_sklearn_formula_random(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 200).astype(float)
+        scores = rng.normal(size=200)
+        ap = average_precision(labels, scores)
+        # Brute-force step integration.
+        order = np.argsort(-scores, kind="stable")
+        l = labels[order]
+        tp = np.cumsum(l)
+        prec = tp / np.arange(1, 201)
+        ref = (prec * l).sum() / l.sum()
+        assert ap == pytest.approx(ref, abs=1e-10)
+
+
+class TestRocAuc:
+    def test_perfect(self):
+        assert roc_auc(np.array([1, 1, 0]), np.array([3.0, 2.0, 1.0])) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(np.array([1, 0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 4000).astype(float)
+        scores = rng.normal(size=4000)
+        assert abs(roc_auc(labels, scores) - 0.5) < 0.05
+
+    def test_degenerate_single_class(self):
+        assert roc_auc(np.ones(5), np.arange(5.0)) == 0.5
+        assert roc_auc(np.zeros(5), np.arange(5.0)) == 0.5
+
+    def test_ties_midrank(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_pairwise_probability_interpretation(self):
+        rng = np.random.default_rng(2)
+        pos = rng.normal(1.0, 1.0, 100)
+        neg = rng.normal(0.0, 1.0, 100)
+        labels = np.concatenate([np.ones(100), np.zeros(100)])
+        scores = np.concatenate([pos, neg])
+        auc = roc_auc(labels, scores)
+        brute = np.mean(pos[:, None] > neg[None, :]) \
+            + 0.5 * np.mean(pos[:, None] == neg[None, :])
+        assert auc == pytest.approx(brute, abs=1e-10)

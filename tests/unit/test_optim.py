@@ -1,0 +1,93 @@
+"""Unit tests for optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.module import Parameter
+from repro.autograd.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    return ((p - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.full(3, 10.0))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        # With zero loss gradient, decay alone must shrink the weights.
+        p.grad = np.zeros(3)
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # First Adam step is ~lr regardless of gradient scale.
+        for scale in (1e-3, 1e3):
+            p = Parameter(np.zeros(1))
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale])
+            opt.step()
+            assert abs(abs(p.data[0]) - 0.01) < 1e-3
+
+    def test_skips_gradless_parameters(self):
+        p1, p2 = Parameter(np.zeros(2)), Parameter(np.ones(2))
+        opt = Adam([p1, p2], lr=0.1)
+        p1.grad = np.ones(2)
+        opt.step()
+        assert np.allclose(p2.data, 1.0)
+        assert not np.allclose(p1.data, 0.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_handles_missing_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for streaming engines and the real-time window replay."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import wikipedia_like
+from repro.hw import FPGAAccelerator, ZCU104_DESIGN
+from repro.models import ModelConfig, TGNN
+from repro.perf import CPU_32T
+from repro.pipeline import (FIFTEEN_MINUTES, ModeledGPPBackend,
+                            SimulatedFPGABackend, SoftwareBackend,
+                            realtime_replay, run_engine, summarize)
+from repro.profiling import count_ops
+
+CFG = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=172,
+                  num_neighbors=4, simplified_attention=True,
+                  lut_time_encoder=True, lut_bins=8, pruning_budget=2)
+
+
+def setup():
+    g = wikipedia_like(num_edges=500, num_users=70, num_items=18)
+    model = TGNN(CFG, rng=np.random.default_rng(0))
+    model.calibrate(g)
+    return g, model
+
+
+class TestSoftwareBackend:
+    def test_measured_report(self):
+        g, model = setup()
+        be = SoftwareBackend(model, g)
+        rep = run_engine(be, g, batch_size=100, end=400)
+        assert rep.n_edges == 400
+        assert rep.total_latency_s > 0
+        assert rep.throughput_eps > 0
+        assert set(rep.stage_time_s) == {"sample", "memory", "gnn", "update"}
+
+    def test_state_persists_across_batches(self):
+        g, model = setup()
+        be = SoftwareBackend(model, g)
+        run_engine(be, g, batch_size=100, end=200)
+        assert be.rt.state.has_mail(g.slice(0, 200).nodes).all()
+
+
+class TestModeledBackend:
+    def test_latency_constant_per_batch_size(self):
+        g, model = setup()
+        counts = count_ops(CFG)
+        be = ModeledGPPBackend(CPU_32T, counts, model, g, functional=False)
+        l1 = be.process_batch(g.slice(0, 100))
+        l2 = be.process_batch(g.slice(100, 200))
+        assert l1 == l2
+        assert l1 == pytest.approx(CPU_32T.latency_s(counts, 100))
+
+    def test_functional_state_advances(self):
+        g, model = setup()
+        be = ModeledGPPBackend(CPU_32T, count_ops(CFG), model, g)
+        be.process_batch(g.slice(0, 100))
+        assert be.rt.state.has_mail(g.slice(0, 100).nodes).all()
+
+
+class TestRealtimeReplay:
+    def test_windows_cover_range(self):
+        g, model = setup()
+        be = SoftwareBackend(model, g)
+        pts = realtime_replay(be, g, window_s=6 * 3600.0, start=100, end=500)
+        assert sum(p.n_edges for p in pts) == 400
+        starts = [p.t_start_s for p in pts]
+        assert starts == sorted(starts)
+
+    def test_fpga_backend_replay(self):
+        g, model = setup()
+        acc = FPGAAccelerator(model, ZCU104_DESIGN)
+        be = SimulatedFPGABackend(acc, g)
+        pts = realtime_replay(be, g, window_s=12 * 3600.0, start=300, end=500)
+        assert all(p.latency_s > 0 for p in pts)
+
+    def test_summarize(self):
+        g, model = setup()
+        be = SoftwareBackend(model, g)
+        pts = realtime_replay(be, g, window_s=6 * 3600.0, end=300)
+        s = summarize(pts)
+        assert s["windows"] == len(pts)
+        assert s["mean_s"] <= s["p95_s"] <= s["max_s"]
+        assert summarize([])["windows"] == 0
+
+    def test_fifteen_minutes_constant(self):
+        assert FIFTEEN_MINUTES == 900.0

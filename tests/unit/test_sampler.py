@@ -1,0 +1,69 @@
+"""Unit tests for temporal neighbor samplers, including FIFO equivalence."""
+
+import numpy as np
+
+from repro.graph import FIFONeighborSampler, FullHistorySampler
+
+
+def feed(sampler, edges):
+    arr = np.array(edges)
+    sampler.insert_edges(arr[:, 0].astype(int), arr[:, 1].astype(int),
+                         arr[:, 2].astype(int), arr[:, 3])
+
+
+EDGES = [(0, 1, 0, 1.0), (0, 2, 1, 2.0), (1, 2, 2, 3.0),
+         (0, 3, 3, 4.0), (2, 3, 4, 5.0), (0, 1, 5, 6.0)]
+
+
+class TestFullHistorySampler:
+    def test_most_recent_k(self):
+        s = FullHistorySampler(5)
+        feed(s, EDGES)
+        g = s.gather(np.array([0]), k=2)
+        assert np.array_equal(g.times[0], [4.0, 6.0])
+        assert np.array_equal(g.nbrs[0], [3, 1])
+
+    def test_degree_unbounded(self):
+        s = FullHistorySampler(5)
+        feed(s, EDGES)
+        assert s.degree(np.array([0]))[0] == 4
+
+    def test_isolated_vertex(self):
+        s = FullHistorySampler(5)
+        feed(s, EDGES)
+        g = s.gather(np.array([4]), k=3)
+        assert not g.mask.any()
+
+    def test_partial_history_padded(self):
+        s = FullHistorySampler(5)
+        feed(s, EDGES[:1])
+        g = s.gather(np.array([0]), k=3)
+        assert g.mask[0].sum() == 1
+        assert g.nbrs[0, 0] == 1
+
+
+class TestFIFOEquivalence:
+    def test_fifo_matches_full_history_when_k_le_mr(self):
+        """The §III hardware-sampler substitution: identical results."""
+        full = FullHistorySampler(5)
+        fifo = FIFONeighborSampler.create(5, mr=4)
+        feed(full, EDGES)
+        feed(fifo, EDGES)
+        for k in (1, 2, 4):
+            for v in range(5):
+                gf = full.gather(np.array([v]), k=k)
+                gh = fifo.gather(np.array([v]), k=k)
+                assert np.array_equal(gf.mask, gh.mask), (v, k)
+                assert np.array_equal(gf.nbrs[gf.mask], gh.nbrs[gh.mask]), (v, k)
+                assert np.array_equal(gf.times[gf.mask], gh.times[gh.mask]), (v, k)
+
+    def test_fifo_caps_k_at_mr(self):
+        fifo = FIFONeighborSampler.create(5, mr=2)
+        feed(fifo, EDGES)
+        g = fifo.gather(np.array([0]), k=10)
+        assert g.k == 2
+
+    def test_fifo_degree_capped(self):
+        fifo = FIFONeighborSampler.create(5, mr=2)
+        feed(fifo, EDGES)
+        assert fifo.degree(np.array([0]))[0] == 2

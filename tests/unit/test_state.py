@@ -1,0 +1,73 @@
+"""Unit tests for the vertex state tables (memory + mailbox)."""
+
+import numpy as np
+
+from repro.graph import VertexState
+from repro.graph.state import _last_occurrence
+
+
+class TestVertexState:
+    def test_initial_state(self):
+        s = VertexState(4, memory_dim=3, raw_message_dim=5)
+        assert not s.has_mail(np.array([0, 1])).any()
+        mem, mail, mt, lu = s.read(np.array([0]))
+        assert mem.shape == (1, 3) and mail.shape == (1, 5)
+        assert mt[0] == -np.inf and lu[0] == 0.0
+
+    def test_write_and_read_memory(self):
+        s = VertexState(4, 3, 5)
+        s.write_memory(np.array([1, 2]), np.arange(6.0).reshape(2, 3),
+                       np.array([10.0, 11.0]))
+        mem, _, _, lu = s.read(np.array([1, 2]))
+        assert np.allclose(mem, [[0, 1, 2], [3, 4, 5]])
+        assert np.allclose(lu, [10.0, 11.0])
+
+    def test_duplicate_write_last_wins(self):
+        s = VertexState(4, 2, 3)
+        vals = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        s.write_memory(np.array([1, 1, 1]), vals, np.array([1.0, 2.0, 3.0]))
+        mem, _, _, lu = s.read(np.array([1]))
+        assert np.allclose(mem[0], [3.0, 3.0])
+        assert lu[0] == 3.0
+
+    def test_mailbox_most_recent_aggregator(self):
+        s = VertexState(4, 2, 3)
+        msgs = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        s.write_mail(np.array([2, 2]), msgs, np.array([5.0, 6.0]))
+        _, mail, mt, _ = s.read(np.array([2]))
+        assert np.allclose(mail[0], [0, 2.0, 0])
+        assert mt[0] == 6.0
+        assert s.has_mail(np.array([2]))[0]
+
+    def test_snapshot_restore(self):
+        s = VertexState(3, 2, 2)
+        s.write_memory(np.array([0]), np.ones((1, 2)), np.array([1.0]))
+        snap = s.snapshot()
+        s.write_memory(np.array([0]), np.full((1, 2), 9.0), np.array([2.0]))
+        s.restore(snap)
+        assert np.allclose(s.memory[0], 1.0)
+        assert s.last_update[0] == 1.0
+
+    def test_reset(self):
+        s = VertexState(3, 2, 2)
+        s.write_mail(np.array([1]), np.ones((1, 2)), np.array([4.0]))
+        s.reset()
+        assert not s.has_mail(np.array([1]))[0]
+        assert np.allclose(s.mailbox, 0.0)
+
+    def test_memory_words(self):
+        s = VertexState(10, 4, 6)
+        assert s.memory_words() == 10 * (4 + 6 + 2)
+
+
+class TestLastOccurrence:
+    def test_unique_all_last(self):
+        assert np.array_equal(_last_occurrence(np.array([3, 1, 2])),
+                              [True, True, True])
+
+    def test_duplicates(self):
+        mask = _last_occurrence(np.array([1, 2, 1, 3, 2]))
+        assert np.array_equal(mask, [False, False, True, True, True])
+
+    def test_empty(self):
+        assert len(_last_occurrence(np.array([], dtype=int))) == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the temporal graph container and batching."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph, iter_fixed_size, iter_time_windows
+
+
+def small_graph(n=10):
+    t = np.arange(n, dtype=float) * 10.0
+    ef = np.arange(n * 2, dtype=float).reshape(n, 2)
+    return TemporalGraph(src=np.zeros(n, dtype=int),
+                         dst=np.arange(1, n + 1), t=t, edge_feat=ef)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = small_graph()
+        assert g.num_edges == 10
+        assert g.num_nodes == 11
+        assert g.edge_dim == 2
+        assert g.node_dim == 0
+        assert g.duration == 90.0
+
+    def test_rejects_decreasing_timestamps(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TemporalGraph([0, 0], [1, 2], [5.0, 1.0])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([-1], [0], [0.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([0, 1], [1], [0.0, 1.0])
+
+    def test_rejects_bad_feature_rows(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([0], [1], [0.0], edge_feat=np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            TemporalGraph([0], [1], [0.0], node_feat=np.zeros((1, 4)))
+
+    def test_num_nodes_override(self):
+        g = TemporalGraph([0], [1], [0.0], num_nodes=100)
+        assert g.num_nodes == 100
+        with pytest.raises(ValueError):
+            TemporalGraph([0], [5], [0.0], num_nodes=2)
+
+    def test_empty_feature_defaults(self):
+        g = TemporalGraph([0], [1], [0.0])
+        assert g.edge_feat.shape == (1, 0)
+        assert g.node_feat.shape == (2, 0)
+
+
+class TestSlicing:
+    def test_slice_is_view(self):
+        g = small_graph()
+        b = g.slice(2, 5)
+        assert len(b) == 3
+        assert b.src.base is g.src or b.src is g.src[2:5]
+        assert np.array_equal(b.eid, [2, 3, 4])
+
+    def test_nodes_interleaved(self):
+        g = small_graph()
+        b = g.slice(0, 2)
+        assert np.array_equal(b.nodes, [0, 1, 0, 2])
+
+    def test_split_boundaries(self):
+        g = small_graph()
+        _, (tr, va, te) = g.split(0.7, 0.15)
+        assert (tr, va, te) == (7, 8, 10)
+        with pytest.raises(ValueError):
+            g.split(0.9, 0.2)
+
+
+class TestFixedSizeBatching:
+    def test_covers_all_edges_once(self):
+        g = small_graph()
+        batches = list(iter_fixed_size(g, 3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        eids = np.concatenate([b.eid for b in batches])
+        assert np.array_equal(eids, np.arange(10))
+
+    def test_start_end_window(self):
+        g = small_graph()
+        batches = list(iter_fixed_size(g, 4, start=2, end=8))
+        assert [len(b) for b in batches] == [4, 2]
+        assert batches[0].eid[0] == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_fixed_size(small_graph(), 0))
+
+
+class TestTimeWindowBatching:
+    def test_windows_partition_stream(self):
+        g = small_graph()  # edges at t = 0, 10, ..., 90
+        batches = list(iter_time_windows(g, window=25.0))
+        eids = np.concatenate([b.eid for b in batches])
+        assert np.array_equal(eids, np.arange(10))
+        # window [0, 25) -> t 0,10,20; [25,50) -> 30,40; etc.
+        assert [len(b) for b in batches] == [3, 2, 3, 2]
+
+    def test_empty_windows_skipped(self):
+        t = np.array([0.0, 1.0, 1000.0])
+        g = TemporalGraph([0, 0, 0], [1, 2, 3], t)
+        batches = list(iter_time_windows(g, window=10.0))
+        assert len(batches) == 2
+        assert len(batches[0]) == 2 and len(batches[1]) == 1
+
+    def test_every_batch_nonempty(self):
+        g = small_graph()
+        for b in iter_time_windows(g, window=7.0):
+            assert len(b) > 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(iter_time_windows(small_graph(), 0.0))

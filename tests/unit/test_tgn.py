@@ -1,0 +1,179 @@
+"""Unit tests for the full TGNN model (Algorithm 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.datasets import wikipedia_like
+from repro.graph import TemporalGraph, iter_fixed_size
+from repro.models import ModelConfig, TGNN
+
+SMALL = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=172,
+                    num_neighbors=4)
+
+
+def tiny_stream():
+    return wikipedia_like(num_edges=160, num_users=30, num_items=8)
+
+
+class TestProcessBatch:
+    def test_embedding_shapes(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        with no_grad():
+            res = model.process_batch(g.slice(0, 10), rt, g)
+        assert res.embeddings.shape == (20, 8)
+        assert res.src_embeddings.shape == (10, 8)
+        assert res.dst_embeddings.shape == (10, 8)
+        assert len(res.neg_embeddings) == 0
+
+    def test_negative_queries_appended(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        neg = np.array([1, 2, 3])
+        with no_grad():
+            res = model.process_batch(g.slice(0, 10), rt, g, neg_dst=neg)
+        assert res.embeddings.shape == (23, 8)
+        assert res.neg_embeddings.shape == (3, 8)
+        assert np.array_equal(res.nodes[-3:], neg)
+
+    def test_negative_queries_do_not_touch_state(self):
+        g = tiny_stream()
+        m1 = TGNN(SMALL, rng=np.random.default_rng(0))
+        m2 = TGNN(SMALL, rng=np.random.default_rng(0))
+        m2.load_state_dict(m1.state_dict())
+        rt1, rt2 = m1.new_runtime(g), m2.new_runtime(g)
+        with no_grad():
+            m1.process_batch(g.slice(0, 10), rt1, g)
+            m2.process_batch(g.slice(0, 10), rt2, g,
+                             neg_dst=np.array([5, 6, 7, 8]))
+        assert np.allclose(rt1.state.memory, rt2.state.memory)
+        assert np.allclose(rt1.state.mailbox, rt2.state.mailbox)
+
+    def test_memory_evolves_only_for_touched_vertices(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        with no_grad():
+            model.process_batch(g.slice(0, 10), rt, g)   # mail written
+            model.process_batch(g.slice(10, 20), rt, g)  # mail consumed
+        batch_nodes = set(g.slice(0, 20).nodes.tolist())
+        touched = np.nonzero(np.any(rt.state.memory != 0.0, axis=1))[0]
+        assert set(touched.tolist()) <= batch_nodes
+        assert len(touched) > 0
+
+    def test_first_batch_memory_unchanged(self):
+        # No cached mail yet -> UPDT is a no-op on zero memory.
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        with no_grad():
+            model.process_batch(g.slice(0, 10), rt, g)
+        assert np.allclose(rt.state.memory, 0.0)
+        assert rt.state.has_mail(g.slice(0, 10).nodes).all()
+
+    def test_embeddings_nonnegative_after_relu(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        with no_grad():
+            res = model.process_batch(g.slice(0, 10), rt, g)
+        assert np.all(res.embeddings.data >= 0.0)
+
+    def test_gradients_reach_every_parameter(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        model.process_batch(g.slice(0, 20), rt, g)  # populate mail
+        res = model.process_batch(g.slice(20, 40), rt, g)
+        (res.embeddings ** 2).sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == [], missing
+
+
+class TestInferenceEquivalence:
+    @pytest.mark.parametrize("cfg", [
+        SMALL,
+        SMALL.with_(simplified_attention=True, name="sat"),
+        SMALL.with_(simplified_attention=True, lut_time_encoder=True,
+                    lut_bins=8, name="lut"),
+        SMALL.with_(simplified_attention=True, lut_time_encoder=True,
+                    lut_bins=8, pruning_budget=2, name="np"),
+    ], ids=lambda c: c.name)
+    def test_infer_matches_process(self, cfg):
+        g = tiny_stream()
+        model = TGNN(cfg, rng=np.random.default_rng(1))
+        model.calibrate(g)
+        rt_a = model.new_runtime(g)
+        with no_grad():
+            ref = [model.process_batch(b, rt_a, g).embeddings.data
+                   for b in iter_fixed_size(g, 32)]
+        model.prepare_inference()
+        rt_b = model.new_runtime(g)
+        got = [model.infer_batch(b, rt_b, g).embeddings.data
+               for b in iter_fixed_size(g, 32)]
+        for a, b in zip(ref, got):
+            assert np.allclose(a, b, atol=1e-9)
+        assert np.allclose(rt_a.state.memory, rt_b.state.memory, atol=1e-9)
+
+    def test_timings_collected(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        timings = {}
+        for b in iter_fixed_size(g, 32):
+            model.infer_batch(b, rt, g, timings=timings)
+        assert set(timings) == {"sample", "memory", "gnn", "update"}
+        assert all(v > 0 for v in timings.values())
+
+
+class TestRuntime:
+    def test_snapshot_restore_roundtrip(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        with no_grad():
+            model.process_batch(g.slice(0, 40), rt, g)
+        snap = rt.snapshot()
+        with no_grad():
+            model.process_batch(g.slice(40, 80), rt, g)
+        rt.restore(snap)
+        rt2 = model.new_runtime(g)
+        with no_grad():
+            model.process_batch(g.slice(0, 40), rt2, g)
+        assert np.allclose(rt.state.memory, rt2.state.memory)
+        assert np.array_equal(rt.sampler.table._times, rt2.sampler.table._times)
+
+    def test_reset(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        rt = model.new_runtime(g)
+        with no_grad():
+            model.process_batch(g.slice(0, 40), rt, g)
+        rt.reset()
+        assert np.allclose(rt.state.memory, 0.0)
+        assert not rt.sampler.table.gather(np.array([0])).mask.any()
+
+    def test_calibrate_noop_for_cosine(self):
+        g = tiny_stream()
+        model = TGNN(SMALL, rng=np.random.default_rng(0))
+        model.calibrate(g)  # must not raise
+
+    def test_gdelt_style_node_features(self):
+        from repro.datasets import gdelt_like
+        g = gdelt_like(num_edges=120, num_users=20, num_items=20)
+        cfg = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=0,
+                          node_dim=200, num_neighbors=3)
+        model = TGNN(cfg, rng=np.random.default_rng(0))
+        assert model.node_proj is not None
+        rt = model.new_runtime(g)
+        with no_grad():
+            ref = [model.process_batch(b, rt, g).embeddings.data
+                   for b in iter_fixed_size(g, 24)]
+        rt2 = model.new_runtime(g)
+        got = [model.infer_batch(b, rt2, g).embeddings.data
+               for b in iter_fixed_size(g, 24)]
+        for a, b in zip(ref, got):
+            assert np.allclose(a, b, atol=1e-9)
