@@ -1,0 +1,124 @@
+"""Extension experiment: serving scale — shards x streams x load.
+
+The paper serves one stream on one idle device; the ROADMAP north star is
+heavy multi-tenant traffic.  This bench sweeps the sharded serving engine
+(`repro.serving`) over shard counts, concurrent streams, and stream-time
+compression, and reports the numbers an operator sizes a fleet with:
+per-shard utilization, end-to-end window response percentiles, cross-shard
+replication overhead, and stability.
+
+Shape expectations: per-shard busy time falls as shards grow (state is
+partitioned, at the price of cross-shard edge replication); more streams
+multiply load and response percentiles never improve; the engine with one
+shard reproduces the single-server `replay_under_load` numbers exactly.
+
+Run standalone (``pytest benchmarks/bench_serving_scale.py``) or with
+``--smoke`` for a seconds-scale reduced sweep — the tier-1 suite invokes
+the smoke path to keep this harness from rotting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import wikipedia_like
+from repro.models import ModelConfig, TGNN
+from repro.perf import CPU_32T
+from repro.pipeline import ModeledGPPBackend, replay_under_load
+from repro.profiling import count_ops
+from repro.reporting import render_table, save_result
+from repro.serving import DynamicBatcher, ServingEngine
+
+pytestmark = pytest.mark.smoke
+
+
+def run_sweep(graph, model, shards_list, streams_list, speedups,
+              backend="zcu104", window_s=900.0, start=0,
+              deadline_s=0.0, batch_edges=None):
+    """Sweep the engine and return (rows, reports-by-key)."""
+    rows, reports = [], {}
+    for n_shards in shards_list:
+        for n_streams in streams_list:
+            for speedup in speedups:
+                engine = ServingEngine.from_registry(
+                    backend, model, graph, num_shards=n_shards,
+                    backend_kwargs={"functional": False}
+                    if backend in ("cpu-32t", "gpu") else None,
+                    batcher=DynamicBatcher(max_edges=batch_edges,
+                                           max_delay_s=deadline_s))
+                rep = engine.run(graph, window_s=window_s, start=start,
+                                 speedup=speedup, num_streams=n_streams)
+                reports[(n_shards, n_streams, speedup)] = rep
+                util = [s.utilization for s in rep.shard_stats]
+                busy = [s.busy_s for s in rep.shard_stats]
+                rows.append({
+                    "shards": n_shards, "streams": n_streams,
+                    "load_x": speedup,
+                    "windows": rep.windows,
+                    "max_util_pct": 100 * max(util),
+                    "max_busy_s": max(busy),
+                    "p95_ms": rep.p95_response_s * 1e3,
+                    "p99_ms": rep.p99_response_s * 1e3,
+                    "xshard_pct": 100 * rep.cross_shard_edges
+                    / max(rep.ingested_edges, 1),
+                    "stable": rep.stable,
+                })
+    return rows, reports
+
+
+def test_serving_scale(request, capsys, smoke):
+    if smoke:
+        graph = wikipedia_like(num_edges=800, num_users=100, num_items=20)
+        cfg = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8,
+                          edge_dim=graph.edge_dim, num_neighbors=4,
+                          simplified_attention=True, lut_time_encoder=True,
+                          lut_bins=8, pruning_budget=2)
+        model = TGNN(cfg, rng=np.random.default_rng(0))
+        model.calibrate(graph)
+        model.prepare_inference()
+        shards_list, streams_list, speedups = [1, 2], [1, 2], [2.0]
+        window_s, start = 3600.0, 200
+    else:
+        graph = request.getfixturevalue("wiki")
+        model = request.getfixturevalue("wiki_np_models")["NP(M)"]
+        shards_list, streams_list = [1, 2, 4, 8], [1, 2, 4]
+        speedups = [1.0, 2.0, 30.0]
+        window_s, start = 900.0, int(graph.num_edges * 0.5)
+
+    backend = "cpu-32t"   # modeled timing: deterministic and fast
+    rows, reports = run_sweep(graph, model, shards_list, streams_list,
+                              speedups, backend=backend, window_s=window_s,
+                              start=start)
+    table = render_table(
+        rows, precision=3,
+        title=f"Serving scale — shards x streams x load ({backend}, "
+              f"{'smoke' if smoke else 'full'})")
+
+    # Single-shard engine == single-server queueing replay (bit-exact).
+    base_key = (1, 1, speedups[0])
+    ref_backend = ModeledGPPBackend(CPU_32T, count_ops(model.cfg), model,
+                                    graph, functional=False)
+    qs = replay_under_load(ref_backend, graph, window_s=window_s,
+                           start=start, speedup=speedups[0])
+    rep1 = reports[base_key]
+    assert rep1.shard_stats[0].utilization == pytest.approx(qs.utilization)
+    assert rep1.p95_response_s == pytest.approx(qs.p95_response_s)
+    table += (f"\n1-shard check: engine p95 "
+              f"{rep1.p95_response_s * 1e3:.3f} ms == replay_under_load "
+              f"{qs.p95_response_s * 1e3:.3f} ms")
+
+    # Scaling shape: sharding splits work, streams multiply it.
+    hot = speedups[-1]
+    for n_streams in streams_list:
+        busy_1 = max(s.busy_s for s in
+                     reports[(shards_list[0], n_streams, hot)].shard_stats)
+        busy_n = max(s.busy_s for s in
+                     reports[(shards_list[-1], n_streams, hot)].shard_stats)
+        assert busy_n < busy_1          # per-shard work strictly falls
+    for n_shards in shards_list:
+        w1 = reports[(n_shards, streams_list[0], hot)].windows
+        wn = reports[(n_shards, streams_list[-1], hot)].windows
+        assert wn == w1 * streams_list[-1] // streams_list[0]
+
+    with capsys.disabled():
+        print(table)
+    save_result("serving_scale", table)

@@ -13,9 +13,24 @@ from repro.datasets import gdelt_like, reddit_like, wikipedia_like
 from repro.models import ModelConfig, TGNN
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="shrink bench workloads to a seconds-scale smoke run "
+             "(exercised by the tier-1 test suite)")
+
+
 def pytest_configure(config):
     # Benches print their tables; keep them visible in the bench log.
     config.option.verbose = max(config.option.verbose, 0)
+    config.addinivalue_line(
+        "markers", "smoke: bench supports the --smoke reduced workload")
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the harness runs with ``--smoke`` (reduced workloads)."""
+    return request.config.getoption("--smoke")
 
 
 @pytest.fixture(scope="session")

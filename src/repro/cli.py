@@ -11,6 +11,9 @@ Commands
 ``dse``     design-space sweep + Pareto frontier for a platform.
 ``trace``   simulate a few batches with tracing and print the ASCII Gantt
             chart + per-stage utilization.
+``serve-sim``  sharded multi-stream serving simulation: N shards x M
+            streams through a named backend, with dynamic batching and
+            per-shard queueing statistics.
 
 Every command is a plain function taking parsed args, so tests invoke them
 without subprocesses.
@@ -76,6 +79,30 @@ def build_parser() -> argparse.ArgumentParser:
                    default="zcu104")
     g.add_argument("--batches", type=int, default=3)
     g.add_argument("--width", type=int, default=100)
+
+    v = sub.add_parser("serve-sim",
+                       help="sharded multi-stream serving simulation")
+    v.add_argument("--dataset", default="wikipedia")
+    v.add_argument("--edges", type=int, default=2000)
+    v.add_argument("--shards", type=int, default=4)
+    v.add_argument("--streams", type=int, default=4)
+    v.add_argument("--speedup", type=float, default=2.0,
+                   help="stream-time compression (load multiplier)")
+    v.add_argument("--window-s", type=float, default=900.0)
+    from .serving.registry import DEFAULT_REGISTRY
+    v.add_argument("--backend", default="zcu104",
+                   choices=DEFAULT_REGISTRY.available(),
+                   help="registry backend name, replicated per shard")
+    v.add_argument("--batch-edges", type=int, default=None,
+                   help="dynamic batcher size trigger (edges)")
+    v.add_argument("--deadline-ms", type=float, default=None,
+                   help="dynamic batcher flush deadline (default: "
+                        "passthrough, or unbounded with --batch-edges)")
+    v.add_argument("--queue-capacity", type=int, default=None)
+    v.add_argument("--model", default=None,
+                   help="optional checkpoint (.npz); default builds NP(4)")
+    v.add_argument("--memory-dim", type=int, default=32)
+    v.add_argument("--seed", type=int, default=0)
     return p
 
 
@@ -220,6 +247,68 @@ def cmd_trace(args, out=print) -> int:
     return 0
 
 
+def cmd_serve_sim(args, out=print) -> int:
+    from .models import ModelConfig, TGNN, load_model
+    from .serving import DEFAULT_REGISTRY, DynamicBatcher, ServingEngine
+    graph = _dataset(args)
+    if args.model:
+        model = load_model(args.model)
+    else:
+        cfg = ModelConfig(memory_dim=args.memory_dim,
+                          time_dim=args.memory_dim,
+                          embed_dim=args.memory_dim,
+                          edge_dim=graph.edge_dim, node_dim=graph.node_dim,
+                          simplified_attention=True, lut_time_encoder=True,
+                          pruning_budget=4, name="NP(4)")
+        model = TGNN(cfg, rng=np.random.default_rng(args.seed))
+        model.calibrate(graph)
+        model.prepare_inference()
+
+    engine_kwargs = {}
+    if args.backend in ("u200", "zcu104"):
+        # Price cross-shard mailbox traffic at the SLR-crossing latency of
+        # the simulated part (single-die parts get an all-zero penalty).
+        from .hw import U200_DESIGN, ZCU104_DESIGN, plan_shard_dies
+        design = U200_DESIGN if args.backend == "u200" else ZCU104_DESIGN
+        engine_kwargs["die_of"] = plan_shard_dies(args.shards,
+                                                  design.platform.dies)
+        engine_kwargs["mail_hop_s"] = \
+            design.die_crossing_cycles * design.clock_s
+
+    batcher = DynamicBatcher(
+        max_edges=args.batch_edges,
+        max_delay_s=None if args.deadline_ms is None
+        else args.deadline_ms / 1e3)
+    # Cost-model backends report timing independent of functional state;
+    # skip the (never-read) per-shard functional inference entirely.
+    backend_kwargs = {"functional": False} \
+        if args.backend in ("cpu-32t", "gpu") else None
+    engine = ServingEngine.from_registry(
+        args.backend, model, graph, num_shards=args.shards,
+        registry=DEFAULT_REGISTRY, backend_kwargs=backend_kwargs,
+        batcher=batcher, **engine_kwargs)
+    report = engine.run(graph, window_s=args.window_s,
+                        speedup=args.speedup, num_streams=args.streams,
+                        queue_capacity=args.queue_capacity)
+
+    out(f"serve-sim: {report.num_shards} shard(s) x {report.num_streams} "
+        f"stream(s) @ {report.speedup:g}x load on {args.backend}")
+    for s in report.shard_stats:
+        out(f"  shard {s.shard}: util {s.utilization * 100:6.2f}%  "
+            f"jobs {s.jobs}  edges {s.edges} (mail {s.mail_in_edges})  "
+            f"wait {s.mean_wait_s * 1e3:.3f} ms  "
+            f"p95 {s.p95_response_s * 1e3:.3f} ms  drops {s.dropped_jobs}")
+    out(f"windows {report.windows} (dropped {report.dropped_windows}), "
+        f"response p95 {report.p95_response_s * 1e3:.3f} ms / "
+        f"p99 {report.p99_response_s * 1e3:.3f} ms, "
+        f"throughput {report.throughput_eps / 1e3:.2f} kE/s")
+    out(f"cross-shard edges {report.cross_shard_edges} "
+        f"(x{report.replication_factor:.2f} replication, "
+        f"{report.cross_die_mail_edges} die crossings); "
+        f"{'stable' if report.stable else 'OVERLOADED'}")
+    return 0
+
+
 COMMANDS = {
     "info": cmd_info,
     "train": cmd_train,
@@ -227,6 +316,7 @@ COMMANDS = {
     "infer": cmd_infer,
     "dse": cmd_dse,
     "trace": cmd_trace,
+    "serve-sim": cmd_serve_sim,
 }
 
 

@@ -1,6 +1,7 @@
 """Temporal-graph substrate: stream storage, neighbor tables, vertex state."""
 
-from .batching import iter_fixed_size, iter_time_windows  # noqa: F401
+from .batching import (iter_fixed_size, iter_time_window_spans,  # noqa: F401
+                       iter_time_windows, merge_batches)
 from .neighbor_table import GatheredNeighbors, NeighborTable  # noqa: F401
 from .sampler import FIFONeighborSampler, FullHistorySampler  # noqa: F401
 from .state import VertexState  # noqa: F401
@@ -11,5 +12,6 @@ __all__ = [
     "NeighborTable", "GatheredNeighbors",
     "FullHistorySampler", "FIFONeighborSampler",
     "VertexState",
-    "iter_fixed_size", "iter_time_windows",
+    "iter_fixed_size", "iter_time_windows", "iter_time_window_spans",
+    "merge_batches",
 ]

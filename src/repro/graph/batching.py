@@ -16,7 +16,8 @@ import numpy as np
 
 from .temporal_graph import EdgeBatch, TemporalGraph
 
-__all__ = ["iter_fixed_size", "iter_time_windows"]
+__all__ = ["iter_fixed_size", "iter_time_windows", "iter_time_window_spans",
+           "merge_batches"]
 
 
 def iter_fixed_size(graph: TemporalGraph, batch_size: int,
@@ -42,6 +43,22 @@ def iter_time_windows(graph: TemporalGraph, window: float,
     windows are skipped (they carry no graph signals, hence no work), which
     matches how a deployed system would idle.
     """
+    for _, _, batch in iter_time_window_spans(graph, window, start=start,
+                                              end=end):
+        yield batch
+
+
+def iter_time_window_spans(graph: TemporalGraph, window: float,
+                           start: int = 0, end: int | None = None
+                           ) -> Iterator[tuple[float, float, EdgeBatch]]:
+    """Yield ``(window_start, window_end, batch)`` for each non-empty window.
+
+    Same iteration as :func:`iter_time_windows` but also reports the true
+    window boundaries (``window_end = window_start + window``); every edge in
+    ``batch`` satisfies ``window_start <= t < window_end``.  Consumers that
+    need the wall-clock boundary rather than the first-edge timestamp (the
+    real-time replay, the serving engine's arrival model) read it from here.
+    """
     if window <= 0:
         raise ValueError("window must be positive")
     end = graph.num_edges if end is None else min(end, graph.num_edges)
@@ -59,6 +76,28 @@ def iter_time_windows(graph: TemporalGraph, window: float,
                 window_start = float(t[lo])
         hi = lo + int(np.searchsorted(t[lo:end], window_start + window,
                                       side="left"))
-        yield graph.slice(lo, hi)  # hi > lo by construction
+        yield window_start, window_start + window, graph.slice(lo, hi)
         lo = hi
         window_start += window
+
+
+def merge_batches(batches: list[EdgeBatch]) -> EdgeBatch:
+    """Concatenate edge batches into one chronological batch.
+
+    Edges are re-sorted by timestamp (stable, so same-time edges keep their
+    input order) because downstream state updates assume non-decreasing
+    arrival — the contract a dynamic batcher must restore when it coalesces
+    windows from independent streams.
+    """
+    if not batches:
+        raise ValueError("merge_batches needs at least one batch")
+    if len(batches) == 1:
+        return batches[0]
+    t = np.concatenate([b.t for b in batches])
+    order = np.argsort(t, kind="stable")
+    return EdgeBatch(
+        src=np.concatenate([b.src for b in batches])[order],
+        dst=np.concatenate([b.dst for b in batches])[order],
+        t=t[order],
+        eid=np.concatenate([b.eid for b in batches])[order],
+        edge_feat=np.concatenate([b.edge_feat for b in batches])[order])

@@ -91,7 +91,28 @@ class FIFONeighborSampler:
         self.table.insert_edges(src, dst, eid, t)
 
     def gather(self, vertices: np.ndarray, k: int) -> GatheredNeighbors:
-        return self.table.gather(vertices, k=min(k, self.table.mr))
+        """Fetch up to ``k`` most recent neighbors, always shaped ``(B, k)``.
+
+        The table can hold at most ``mr`` entries per vertex, so for
+        ``k > mr`` the trailing ``k - mr`` slots are padding (mask cleared,
+        times ``-inf``) — the same convention
+        :class:`FullHistorySampler` uses for vertices with short histories,
+        keeping the two samplers drop-in interchangeable at any ``k``.
+        """
+        k = int(k)
+        g = self.table.gather(vertices, k=min(k, self.table.mr))
+        if k <= self.table.mr:
+            return g
+        B, held = g.nbrs.shape
+        nbrs = np.zeros((B, k), dtype=np.int64)
+        eids = np.zeros((B, k), dtype=np.int64)
+        times = np.full((B, k), -np.inf, dtype=np.float64)
+        mask = np.zeros((B, k), dtype=bool)
+        nbrs[:, :held] = g.nbrs
+        eids[:, :held] = g.eids
+        times[:, :held] = g.times
+        mask[:, :held] = g.mask
+        return GatheredNeighbors(nbrs, eids, times, mask)
 
     def degree(self, vertices: np.ndarray) -> np.ndarray:
         return self.table.degree(vertices)

@@ -6,7 +6,7 @@ from .dse import (DesignPoint, SweepSpec, best_design, explore,  # noqa: F401
                   pareto_frontier)
 from .eu import EU_STAGES, EmbeddingUnit  # noqa: F401
 from .memory_model import DDRModel  # noqa: F401
-from .multi_die import Floorplan, plan_floorplan  # noqa: F401
+from .multi_die import Floorplan, plan_floorplan, plan_shard_dies  # noqa: F401
 from .muu import MUU_STAGES, MemoryUpdateUnit  # noqa: F401
 from .platforms import U200, ZCU104, FPGAPlatform  # noqa: F401
 from .resources import ResourceEstimate, estimate_resources  # noqa: F401
@@ -23,6 +23,6 @@ __all__ = [
     "UpdaterCache", "UpdaterReport",
     "ResourceEstimate", "estimate_resources",
     "DesignPoint", "SweepSpec", "explore", "pareto_frontier", "best_design",
-    "Floorplan", "plan_floorplan",
+    "Floorplan", "plan_floorplan", "plan_shard_dies",
     "stage_utilization", "render_gantt", "pipeline_overlap",
 ]

@@ -19,7 +19,7 @@ from ..models.config import ModelConfig
 from .config import HardwareConfig
 from .resources import estimate_resources
 
-__all__ = ["Floorplan", "plan_floorplan"]
+__all__ = ["Floorplan", "plan_floorplan", "plan_shard_dies"]
 
 # Dataflow edges between top-level modules (producer -> consumer).
 DATAFLOW = [
@@ -53,13 +53,7 @@ def plan_floorplan(model_cfg: ModelConfig, hw: HardwareConfig) -> Floorplan:
     """
     dies = hw.platform.dies
     assignment: dict[str, int] = {}
-    if dies == 1:
-        shared_die = 0
-        cu_dies = [0] * hw.n_cu
-    else:
-        shared_die = dies // 2
-        outer = [d for d in range(dies) if d != shared_die]
-        cu_dies = [outer[i % len(outer)] for i in range(hw.n_cu)]
+    shared_die, cu_dies = _spread_over_dies(hw.n_cu, dies)
     for name in ("edge_parser", "data_loader", "updater"):
         assignment[name] = shared_die
     for i, die in enumerate(cu_dies):
@@ -82,3 +76,29 @@ def plan_floorplan(model_cfg: ModelConfig, hw: HardwareConfig) -> Floorplan:
                    for v in per_die_dsp.values())
     return Floorplan(assignment=assignment, crossings=crossings,
                      per_die_dsp=per_die_dsp, feasible=feasible)
+
+
+def plan_shard_dies(num_shards: int, dies: int) -> list[int]:
+    """Assign serving shards to dies, via the same placement as the CUs.
+
+    The sharded serving engine reuses the Fig. 2 layout: the shared front
+    end (ingest, batcher) conceptually sits on the middle die, and shard
+    state spreads round-robin over the remaining dies — so cross-shard
+    mailbox traffic between shards on different dies pays the SLR-boundary
+    FIFO latency (``HardwareConfig.die_crossing_cycles``).  Single-die
+    parts place every shard on die 0 and mailbox traffic stays on-chip.
+    """
+    if num_shards <= 0 or dies <= 0:
+        raise ValueError("num_shards and dies must be positive")
+    _, shard_dies = _spread_over_dies(num_shards, dies)
+    return shard_dies
+
+
+def _spread_over_dies(n: int, dies: int) -> tuple[int, list[int]]:
+    """Fig. 2 placement: shared front end on the middle die, ``n`` workers
+    round-robin over the outer dies.  Returns ``(shared_die, worker_dies)``."""
+    if dies == 1:
+        return 0, [0] * n
+    shared_die = dies // 2
+    outer = [d for d in range(dies) if d != shared_die]
+    return shared_die, [outer[i % len(outer)] for i in range(n)]

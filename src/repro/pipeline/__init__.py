@@ -1,4 +1,26 @@
-"""Streaming inference engines and real-time replay."""
+"""Streaming inference engines and real-time replay.
+
+Engine backend protocol
+-----------------------
+Every replay/queueing entry point here — and the sharded serving layer in
+:mod:`repro.serving` — drives backends through one duck-typed contract:
+
+``process_batch(batch: EdgeBatch) -> float``
+    Process one chronological edge batch and return its *service time in
+    seconds*: measured wall-clock for :class:`SoftwareBackend`, simulated
+    for :class:`SimulatedFPGABackend`, modeled for
+    :class:`ModeledGPPBackend`.  Calls arrive in stream order, and
+    implementations may advance functional vertex state as a side effect —
+    callers must therefore never reuse one backend instance across
+    independent replays (or shards) unless they intend shared state.
+
+``name: str`` (optional)
+    Label used in reports; falls back to the class name.
+
+New backends need no registration to work with these functions; to be
+constructible by name (per serving shard, from the CLI), add a factory to
+:class:`repro.serving.BackendRegistry`.
+"""
 
 from .engine import (EngineReport, ModeledGPPBackend,  # noqa: F401
                      SimulatedFPGABackend, SoftwareBackend, run_engine)

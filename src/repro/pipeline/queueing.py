@@ -7,6 +7,20 @@ replays a stream's real window arrival process against a backend's service
 times and reports waiting/response statistics and utilization — the number
 an SLO is actually written against.
 
+The event loop itself now lives in :mod:`repro.serving.simulator`, which
+generalizes it to K servers; :func:`replay_under_load` is the single-server
+compatibility wrapper.  Two long-standing accounting bugs are fixed by the
+move:
+
+* utilization used to divide busy time by the *last arrival* instant,
+  ignoring service that extends past it (reporting > 1 for stable systems,
+  and dividing by ~0 for single-window streams).  It now divides by the
+  makespan through the last completion and is bounded by 1; stability is
+  judged by ``offered_load`` instead.
+* ``queue_capacity`` used to count the in-service window against the
+  buffer (drops began one window early).  Capacity now bounds *waiting*
+  windows only.
+
 Works with any engine backend (simulated FPGA, modeled GPP, measured
 software): service time is whatever ``process_batch`` reports.
 """
@@ -15,10 +29,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..graph.batching import iter_time_windows
 from ..graph.temporal_graph import TemporalGraph
+from ..serving.simulator import simulate_queue
 
 __all__ = ["QueueStats", "replay_under_load"]
 
@@ -28,17 +41,19 @@ class QueueStats:
     """Response-time statistics of a loaded replay."""
 
     windows: int
-    utilization: float          # busy time / stream time
+    utilization: float          # busy time / makespan, in [0, 1]
     mean_wait_s: float
     mean_response_s: float      # wait + service
     p95_response_s: float
-    max_queue_depth: int
+    max_queue_depth: int        # waiting windows (in-service excluded)
     dropped_windows: int        # arrivals while the queue was at capacity
+    offered_load: float = 0.0   # arrival rate x mean service
+    p99_response_s: float = 0.0
 
     @property
     def stable(self) -> bool:
-        """A sustainable deployment keeps utilization below 1."""
-        return self.utilization < 1.0
+        """A sustainable deployment keeps offered load below 1."""
+        return self.offered_load < 1.0
 
 
 def replay_under_load(backend, graph: TemporalGraph, window_s: float,
@@ -51,6 +66,10 @@ def replay_under_load(backend, graph: TemporalGraph, window_s: float,
     the standard way to stress a deployment beyond its recorded load.
     ``queue_capacity`` (optional) drops arrivals when the backlog is full,
     modelling a bounded ingest buffer.
+
+    Thin wrapper over :func:`repro.serving.simulate_queue` with one server;
+    use :class:`repro.serving.ServingEngine` for multi-shard/multi-stream
+    deployments.
     """
     if window_s <= 0 or speedup <= 0:
         raise ValueError("window_s and speedup must be positive")
@@ -64,38 +83,14 @@ def replay_under_load(backend, graph: TemporalGraph, window_s: float,
     if not arrivals:
         raise ValueError("no windows in the requested range")
 
-    server_free = 0.0
-    busy = 0.0
-    waits, responses = [], []
-    queue_depth = 0
-    max_depth = 0
-    dropped = 0
-    # FIFO with deterministic arrival order; service times come from the
-    # backend (which also advances functional state in arrival order).
-    pending_finish: list[float] = []
-    for t_arrive, batch in arrivals:
-        # Drain finished jobs to track instantaneous depth.
-        pending_finish = [f for f in pending_finish if f > t_arrive]
-        queue_depth = len(pending_finish)
-        if queue_capacity is not None and queue_depth >= queue_capacity:
-            dropped += 1
-            continue
-        service = backend.process_batch(batch)
-        begin = max(server_free, t_arrive)
-        finish = begin + service
-        server_free = finish
-        busy += service
-        waits.append(begin - t_arrive)
-        responses.append(finish - t_arrive)
-        pending_finish.append(finish)
-        max_depth = max(max_depth, len(pending_finish))
-
-    stream_time = max(arrivals[-1][0], 1e-12)
-    responses_arr = np.asarray(responses)
-    return QueueStats(windows=len(responses),
-                      utilization=busy / stream_time,
-                      mean_wait_s=float(np.mean(waits)) if waits else 0.0,
-                      mean_response_s=float(responses_arr.mean()),
-                      p95_response_s=float(np.percentile(responses_arr, 95)),
-                      max_queue_depth=max_depth,
-                      dropped_windows=dropped)
+    res = simulate_queue(arrivals, backend.process_batch, num_servers=1,
+                         queue_capacity=queue_capacity)
+    return QueueStats(windows=res.jobs,
+                      utilization=res.utilization,
+                      mean_wait_s=res.mean_wait_s,
+                      mean_response_s=res.mean_response_s,
+                      p95_response_s=res.p95_response_s,
+                      max_queue_depth=res.max_queue_depth,
+                      dropped_windows=res.dropped,
+                      offered_load=res.offered_load,
+                      p99_response_s=res.p99_response_s)

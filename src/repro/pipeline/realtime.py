@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph.batching import iter_time_windows
+from ..graph.batching import iter_time_window_spans
 from ..graph.temporal_graph import TemporalGraph
 
 __all__ = ["WindowPoint", "realtime_replay", "FIFTEEN_MINUTES"]
@@ -26,7 +26,7 @@ FIFTEEN_MINUTES = 15 * 60.0
 class WindowPoint:
     """Latency record for one replay window."""
 
-    t_start_s: float        # window start, stream time
+    t_start_s: float        # window start (wall-clock boundary), stream time
     n_edges: int
     latency_s: float
 
@@ -39,11 +39,15 @@ def realtime_replay(backend, graph: TemporalGraph,
 
     ``backend`` follows the engine protocol (``process_batch -> seconds``).
     Returns one point per non-empty window, in stream order.
+    ``t_start_s`` is the true window boundary from
+    :func:`~repro.graph.batching.iter_time_window_spans` — not the first
+    edge's timestamp, which lands anywhere inside the window.
     """
     points: list[WindowPoint] = []
-    for batch in iter_time_windows(graph, window_s, start=start, end=end):
+    for w_start, _, batch in iter_time_window_spans(graph, window_s,
+                                                    start=start, end=end):
         latency = backend.process_batch(batch)
-        points.append(WindowPoint(t_start_s=float(batch.t[0]),
+        points.append(WindowPoint(t_start_s=float(w_start),
                                   n_edges=len(batch),
                                   latency_s=latency))
     return points

@@ -1,0 +1,34 @@
+"""Sharded, multi-stream serving layer in front of the engine backends.
+
+The ``pipeline`` package answers "how fast is one batch on one idle
+device"; this package answers the production question: how does a fleet of
+shards behave when many streams hit it at once.  Components:
+
+* :class:`ShardRouter` — hash-partitions vertex state over N shards, with
+  cross-shard edges resolved through a :class:`CrossShardMailbox`;
+* :class:`DynamicBatcher` — size- or deadline-triggered coalescing of
+  arrivals across streams;
+* :func:`simulate_queue` — event-driven multi-server FIFO queue simulation
+  (the generalized, bug-fixed replacement for the old single-server loop in
+  ``pipeline/queueing.py``);
+* :class:`BackendRegistry` — backends constructed by name, pluggable per
+  shard;
+* :class:`ServingEngine` — the composition, reporting per-shard
+  utilization/wait/p95/p99/drops and end-to-end window response times.
+"""
+
+from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
+from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
+                     make_stream_arrivals)
+from .registry import DEFAULT_REGISTRY, BackendRegistry  # noqa: F401
+from .router import CrossShardMailbox, ShardBatch, ShardRouter  # noqa: F401
+from .simulator import (ServedJob, SimulationResult,  # noqa: F401
+                        simulate_queue)
+
+__all__ = [
+    "ServingEngine", "ServingReport", "ShardStats", "make_stream_arrivals",
+    "ShardRouter", "ShardBatch", "CrossShardMailbox",
+    "DynamicBatcher", "CoalescedJob", "StreamArrival",
+    "simulate_queue", "SimulationResult", "ServedJob",
+    "BackendRegistry", "DEFAULT_REGISTRY",
+]

@@ -1,0 +1,315 @@
+"""Sharded multi-stream serving engine.
+
+This is the production-deployment composition the single-device replay in
+``pipeline/`` cannot express: many concurrent edge streams hit an ingest
+tier, a :class:`~repro.serving.batcher.DynamicBatcher` coalesces their
+windows under a latency deadline, a
+:class:`~repro.serving.router.ShardRouter` splits each released batch
+across hash-partitioned shards, and every shard — owning its own backend
+and :class:`~repro.models.tgn.ModelRuntime` — serves its sub-batches
+through a FIFO queue simulated by
+:func:`~repro.serving.simulator.simulate_queue`.  A window's response time
+is fork-join: it completes when the *last* involved shard finishes.
+
+Workload model: each stream replays the graph's own window arrival
+process, phase-shifted by a fraction of a window, so ``num_streams = S``
+multiplies the recorded load S-fold — the multi-tenant analogue of the
+``speedup`` stream-time compression.  With one stream, one shard, and a
+passthrough batcher the engine reproduces
+:func:`repro.pipeline.replay_under_load` exactly (asserted by the
+equivalence tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..graph.batching import iter_time_windows
+from ..graph.temporal_graph import TemporalGraph
+from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
+from .registry import DEFAULT_REGISTRY, BackendRegistry
+from .router import CrossShardMailbox, ShardRouter
+from .simulator import SimulationResult, simulate_queue
+
+__all__ = ["ShardStats", "ServingReport", "ServingEngine",
+           "make_stream_arrivals"]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-shard queueing and traffic statistics."""
+
+    shard: int
+    backend: str
+    jobs: int
+    edges: int                  # edges processed (local + mail)
+    local_edges: int
+    mail_in_edges: int          # edges forwarded in from other shards
+    busy_s: float
+    utilization: float
+    offered_load: float
+    mean_wait_s: float
+    mean_response_s: float
+    p95_response_s: float
+    p99_response_s: float
+    max_queue_depth: int
+    dropped_jobs: int
+
+    @property
+    def stable(self) -> bool:
+        return self.offered_load < 1.0
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """End-to-end outcome of a sharded multi-stream replay."""
+
+    num_shards: int
+    num_streams: int
+    speedup: float
+    window_s: float
+    windows: int                # window arrivals served end-to-end
+    dropped_windows: int        # arrivals lost to a full shard queue
+    mean_response_s: float      # arrival -> last involved shard finished
+    p95_response_s: float
+    p99_response_s: float
+    makespan_s: float
+    ingested_edges: int         # edges offered by the streams
+    processed_edges: int        # edges actually serviced (incl. cross-shard
+                                # duplication); drops are excluded
+    cross_shard_edges: int      # mailbox traffic actually serviced
+    cross_die_mail_edges: int   # mailbox traffic that crossed a die
+    shard_stats: tuple[ShardStats, ...]
+
+    @property
+    def stable(self) -> bool:
+        return all(s.stable for s in self.shard_stats)
+
+    @property
+    def served_edges(self) -> int:
+        """Distinct stream edges serviced (cross-shard copies counted once)."""
+        return self.processed_edges - self.cross_shard_edges
+
+    @property
+    def throughput_eps(self) -> float:
+        return self.served_edges / self.makespan_s \
+            if self.makespan_s > 0 else 0.0
+
+    @property
+    def replication_factor(self) -> float:
+        """Processed / served edges — the cost of cross-shard edges."""
+        return self.processed_edges / self.served_edges \
+            if self.served_edges else 0.0
+
+
+def make_stream_arrivals(graph: TemporalGraph, window_s: float,
+                         num_streams: int = 1, start: int = 0,
+                         end: int | None = None,
+                         speedup: float = 1.0) -> list[StreamArrival]:
+    """Arrival process of ``num_streams`` tenants replaying ``graph``.
+
+    A window becomes servable when its last edge has arrived, so the
+    arrival instant is the final edge timestamp (stream-time compressed by
+    ``speedup``), matching :func:`repro.pipeline.replay_under_load`.
+    Stream ``i`` is phase-shifted by ``i/num_streams`` of a window to model
+    unsynchronized tenants.
+    """
+    if window_s <= 0 or speedup <= 0:
+        raise ValueError("window_s and speedup must be positive")
+    if num_streams <= 0:
+        raise ValueError("num_streams must be positive")
+    base: list[tuple[float, object]] = []
+    for batch in iter_time_windows(graph, window_s, start=start, end=end):
+        base.append((float(batch.t[-1]), batch))
+    if not base:
+        raise ValueError("no windows in the requested range")
+    t0 = base[0][0]
+    arrivals: list[StreamArrival] = []
+    for i in range(num_streams):
+        phase = (i / num_streams) * window_s / speedup
+        for t_close, batch in base:
+            arrivals.append(StreamArrival(t=(t_close - t0) / speedup + phase,
+                                          stream=i, batch=batch))
+    arrivals.sort(key=lambda a: a.t)
+    return arrivals
+
+
+class ServingEngine:
+    """Shard-parallel serving in front of per-shard engine backends.
+
+    Parameters
+    ----------
+    backends:
+        One backend per shard (engine protocol, each with its own runtime).
+    num_nodes:
+        Vertex count, for the router's hash partition.
+    batcher:
+        Cross-stream coalescing policy; default is passthrough.
+    router:
+        Vertex partition; default hash-partitions over ``len(backends)``.
+    die_of:
+        Optional shard -> die assignment (see
+        :func:`repro.hw.plan_shard_dies`).  With ``mail_hop_s`` it prices
+        cross-die mailbox traffic into the receiving shard's service time.
+    mail_hop_s:
+        Seconds added per forwarded edge that crosses a die boundary.
+    """
+
+    def __init__(self, backends: Sequence, num_nodes: int,
+                 batcher: DynamicBatcher | None = None,
+                 router: ShardRouter | None = None,
+                 die_of: Sequence[int] | None = None,
+                 mail_hop_s: float = 0.0):
+        if not backends:
+            raise ValueError("need at least one backend")
+        self.backends = list(backends)
+        self.num_shards = len(self.backends)
+        self.batcher = batcher or DynamicBatcher()
+        self.router = router or ShardRouter(self.num_shards, num_nodes)
+        if self.router.num_shards != self.num_shards:
+            raise ValueError("router shard count must match backend count")
+        if die_of is not None and len(die_of) != self.num_shards:
+            raise ValueError("die_of must assign every shard")
+        self.die_of = None if die_of is None else np.asarray(die_of,
+                                                             dtype=np.int64)
+        self.mail_hop_s = float(mail_hop_s)
+
+    @classmethod
+    def from_registry(cls, backend: str | Sequence[str], model,
+                      graph: TemporalGraph, num_shards: int | None = None,
+                      registry: BackendRegistry = DEFAULT_REGISTRY,
+                      backend_kwargs: dict | None = None,
+                      **engine_kwargs) -> "ServingEngine":
+        """Build an engine with per-shard backends constructed by name.
+
+        ``backend`` is either one name replicated ``num_shards`` times or an
+        explicit per-shard list (heterogeneous shards are legal: e.g. hot
+        shards on ``u200``, cold shards on ``cpu-32t``).
+        """
+        if num_shards is not None and num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if isinstance(backend, str):
+            names = [backend] * (num_shards or 1)
+        else:
+            names = list(backend)
+            if num_shards is not None and len(names) != num_shards:
+                raise ValueError("backend list length must equal num_shards")
+        kwargs = backend_kwargs or {}
+        backends = [registry.create(n, model, graph, **kwargs)
+                    for n in names]
+        return cls(backends, graph.num_nodes, **engine_kwargs)
+
+    # ------------------------------------------------------------------ #
+    def _cross_die_mail(self, shard: int, mail_from: np.ndarray) -> int:
+        if self.die_of is None or not len(mail_from):
+            return 0
+        return int((self.die_of[mail_from] != self.die_of[shard]).sum())
+
+    def run(self, graph: TemporalGraph, window_s: float, start: int = 0,
+            end: int | None = None, speedup: float = 1.0,
+            num_streams: int = 1,
+            queue_capacity: int | None = None) -> ServingReport:
+        """Replay the multi-stream arrival process through the shards.
+
+        Backends are stateful (engine protocol: functional vertex state may
+        advance per batch), so a second ``run`` on the same engine continues
+        from the first run's warm state — deliberate for warm-deployment
+        studies, but for independent, comparable replays build a fresh
+        engine (``from_registry`` constructs fresh backends each call).
+        """
+        arrivals = make_stream_arrivals(graph, window_s,
+                                        num_streams=num_streams, start=start,
+                                        end=end, speedup=speedup)
+        jobs = self.batcher.coalesce(arrivals)
+        mailbox = CrossShardMailbox(self.num_shards)
+
+        # Split every released job across shards.  The cross-die mail count
+        # is computed once per sub-batch here and reused both for the
+        # service-time penalty and (if the sub-job is actually served) the
+        # traffic report.
+        per_shard: list[list[tuple[float, tuple]]] = \
+            [[] for _ in range(self.num_shards)]
+        for ji, job in enumerate(jobs):
+            for sb in self.router.split(job.batch):
+                hops = self._cross_die_mail(sb.shard, sb.mail_from)
+                per_shard[sb.shard].append((job.t_release, (ji, sb, hops)))
+
+        # Each shard is a dedicated single server over its own FIFO: shard
+        # state must advance in stream order, so jobs cannot be re-balanced.
+        # Traffic is accounted per *served* sub-job — edges rejected by a
+        # full queue were never processed and must not inflate the report.
+        finish_of_job = np.full(len(jobs), -np.inf)
+        job_dropped = np.zeros(len(jobs), dtype=bool)
+        shard_traffic = np.zeros((self.num_shards, 2), dtype=np.int64)
+        cross_die_mail = 0
+        shard_results: list[SimulationResult] = []
+        for shard, backend in enumerate(self.backends):
+            def service(payload, _backend=backend):
+                _, sb, hops = payload
+                return _backend.process_batch(sb.batch) \
+                    + self.mail_hop_s * hops
+
+            res = simulate_queue(per_shard[shard], service, num_servers=1,
+                                 queue_capacity=queue_capacity)
+            shard_results.append(res)
+            for sj in res.served:
+                ji, sb, hops = per_shard[shard][sj.index][1]
+                finish_of_job[ji] = max(finish_of_job[ji], sj.t_finish)
+                shard_traffic[shard, 0] += sb.local_edges
+                shard_traffic[shard, 1] += sb.mail_edges
+                cross_die_mail += hops
+                if sb.mail_edges:
+                    mailbox.record(sb.mail_from, shard)
+            for di in res.dropped_indices:
+                job_dropped[per_shard[shard][di][1][0]] = True
+
+        # Window-level accounting: a window responds when its job's last
+        # shard finishes; it is dropped if any shard's queue rejected it.
+        responses: list[float] = []
+        dropped_windows = 0
+        for ji, job in enumerate(jobs):
+            if job_dropped[ji] or not np.isfinite(finish_of_job[ji]):
+                dropped_windows += len(job.sources)
+                continue
+            for a in job.sources:
+                responses.append(finish_of_job[ji] - a.t)
+
+        stats = tuple(
+            ShardStats(shard=s,
+                       backend=getattr(self.backends[s], "name",
+                                       type(self.backends[s]).__name__),
+                       jobs=r.jobs,
+                       edges=int(shard_traffic[s].sum()),
+                       local_edges=int(shard_traffic[s, 0]),
+                       mail_in_edges=int(shard_traffic[s, 1]),
+                       busy_s=r.busy_s,
+                       utilization=r.utilization,
+                       offered_load=r.offered_load,
+                       mean_wait_s=r.mean_wait_s,
+                       mean_response_s=r.mean_response_s,
+                       p95_response_s=r.p95_response_s,
+                       p99_response_s=r.p99_response_s,
+                       max_queue_depth=r.max_queue_depth,
+                       dropped_jobs=r.dropped)
+            for s, r in enumerate(shard_results))
+
+        resp = np.asarray(responses)
+        finite = finish_of_job[np.isfinite(finish_of_job)]
+        makespan = float(finite.max() - arrivals[0].t) if len(finite) else 0.0
+        ingested = sum(len(a) for a in arrivals)
+        return ServingReport(
+            num_shards=self.num_shards, num_streams=num_streams,
+            speedup=speedup, window_s=window_s,
+            windows=len(responses), dropped_windows=dropped_windows,
+            mean_response_s=float(resp.mean()) if len(resp) else 0.0,
+            p95_response_s=float(np.percentile(resp, 95)) if len(resp) else 0.0,
+            p99_response_s=float(np.percentile(resp, 99)) if len(resp) else 0.0,
+            makespan_s=makespan,
+            ingested_edges=ingested,
+            processed_edges=int(shard_traffic.sum()),
+            cross_shard_edges=mailbox.total_edges,
+            cross_die_mail_edges=cross_die_mail,
+            shard_stats=stats)

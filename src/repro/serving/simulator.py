@@ -1,0 +1,192 @@
+"""Event-driven multi-server FIFO queue simulation.
+
+Generalizes — and bug-fixes — the single-server replay loop that used to
+live inline in ``pipeline/queueing.py``:
+
+* **Utilization** is busy time over ``num_servers * makespan`` where the
+  makespan extends to the *last service completion*, not the last arrival.
+  The old accounting dropped the trailing service, so a stable system could
+  report utilization > 1, and a single-window stream divided by ~0.
+* **Queue capacity** bounds the *waiting* jobs only; the job in service no
+  longer counts against the ingest buffer (the old off-by-one made a
+  capacity-``c`` queue drop at backlog ``c - 1``).
+* **Stability** is judged by offered load (arrival rate × mean service /
+  servers), which stays meaningful when the trace ends with a backlog and
+  utilization saturates at 1.
+
+Service times come from a caller-supplied ``service_fn`` invoked in
+admission order, so backends that advance functional vertex state as a side
+effect (the engine protocol documented in :mod:`repro.pipeline`) see the
+stream in the same order a real deployment would.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ServedJob", "SimulationResult", "simulate_queue"]
+
+
+@dataclass(frozen=True)
+class ServedJob:
+    """One admitted job's timeline through the queue."""
+
+    index: int          # position in the arrival sequence
+    t_arrive: float
+    t_begin: float
+    t_finish: float
+    service_s: float
+    server: int
+
+    @property
+    def wait_s(self) -> float:
+        return self.t_begin - self.t_arrive
+
+    @property
+    def response_s(self) -> float:
+        return self.t_finish - self.t_arrive
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a queue simulation, with aggregate statistics."""
+
+    served: tuple[ServedJob, ...]
+    dropped_indices: tuple[int, ...]
+    num_servers: int
+    busy_s: float
+    makespan_s: float       # first arrival -> last service completion
+    utilization: float      # busy / (num_servers * makespan), in [0, 1]
+    offered_load: float     # arrival rate * mean service / num_servers
+    max_queue_depth: int    # waiting jobs only (in-service excluded)
+
+    @property
+    def jobs(self) -> int:
+        return len(self.served)
+
+    @property
+    def dropped(self) -> int:
+        return len(self.dropped_indices)
+
+    @property
+    def stable(self) -> bool:
+        """A sustainable deployment keeps offered load below 1."""
+        return self.offered_load < 1.0
+
+    # ------------------------------------------------------------------ #
+    def waits(self) -> np.ndarray:
+        return np.array([j.wait_s for j in self.served])
+
+    def responses(self) -> np.ndarray:
+        return np.array([j.response_s for j in self.served])
+
+    @property
+    def mean_wait_s(self) -> float:
+        return float(self.waits().mean()) if self.served else 0.0
+
+    @property
+    def mean_response_s(self) -> float:
+        return float(self.responses().mean()) if self.served else 0.0
+
+    @property
+    def p95_response_s(self) -> float:
+        return float(np.percentile(self.responses(), 95)) if self.served \
+            else 0.0
+
+    @property
+    def p99_response_s(self) -> float:
+        return float(np.percentile(self.responses(), 99)) if self.served \
+            else 0.0
+
+
+def simulate_queue(arrivals: Sequence[tuple[float, Any]],
+                   service_fn: Callable[[Any], float],
+                   num_servers: int = 1,
+                   queue_capacity: int | None = None) -> SimulationResult:
+    """Run ``arrivals`` through ``num_servers`` identical FIFO servers.
+
+    Parameters
+    ----------
+    arrivals:
+        ``(t_arrive, payload)`` pairs in non-decreasing time order.
+    service_fn:
+        Called once per *admitted* job, in admission order, returning the
+        service time in seconds.  Dropped jobs are never serviced, so
+        functional side effects match what a bounded ingest buffer admits.
+    num_servers:
+        Identical servers pulling from one FIFO queue (K accelerators, or
+        the dies of a multi-die part treated as independent workers).
+    queue_capacity:
+        Maximum *waiting* jobs; an arrival finding the buffer full is
+        dropped.  ``None`` means unbounded.
+    """
+    if num_servers <= 0:
+        raise ValueError("num_servers must be positive")
+    if queue_capacity is not None and queue_capacity < 0:
+        raise ValueError("queue_capacity must be non-negative")
+    arr = list(arrivals)
+    if any(arr[i][0] > arr[i + 1][0] for i in range(len(arr) - 1)):
+        raise ValueError("arrivals must be sorted by time")
+
+    free: list[tuple[float, int]] = [(0.0, s) for s in range(num_servers)]
+    waiting: list[float] = []       # begin times of queued (not started) jobs
+    served: list[ServedJob] = []
+    dropped: list[int] = []
+    busy = 0.0
+    max_depth = 0
+    for i, (t_arrive, payload) in enumerate(arr):
+        # Jobs whose service has begun by now have left the buffer.
+        while waiting and waiting[0] <= t_arrive:
+            heapq.heappop(waiting)
+        # A full buffer only rejects jobs that would have to wait: with an
+        # idle server the job starts immediately and never occupies a slot
+        # (so ``queue_capacity=0`` models a bufferless loss system, not a
+        # server that drops everything).
+        if queue_capacity is not None and len(waiting) >= queue_capacity \
+                and free[0][0] > t_arrive:
+            dropped.append(i)
+            continue
+        service = float(service_fn(payload))
+        if service < 0:
+            raise ValueError("service_fn returned a negative service time")
+        free_t, srv = heapq.heappop(free)
+        begin = max(free_t, t_arrive)
+        finish = begin + service
+        heapq.heappush(free, (finish, srv))
+        busy += service
+        if begin > t_arrive:
+            heapq.heappush(waiting, begin)
+            max_depth = max(max_depth, len(waiting))
+        served.append(ServedJob(index=i, t_arrive=t_arrive, t_begin=begin,
+                                t_finish=finish, service_s=service,
+                                server=srv))
+
+    if not served:
+        return SimulationResult(served=(), dropped_indices=tuple(dropped),
+                                num_servers=num_servers, busy_s=0.0,
+                                makespan_s=0.0, utilization=0.0,
+                                offered_load=0.0, max_queue_depth=max_depth)
+
+    t_first = arr[0][0]
+    makespan = max(max(j.t_finish for j in served) - t_first, 0.0)
+    utilization = busy / (num_servers * makespan) if makespan > 0 else \
+        (1.0 if busy > 0 else 0.0)
+    n = len(arr)
+    span = arr[-1][0] - t_first
+    mean_service = busy / len(served)
+    if n <= 1:
+        # One job is not an arrival process; it cannot overload anything.
+        offered = 0.0
+    elif span <= 0:
+        offered = float("inf")
+    else:
+        offered = ((n - 1) / span) * mean_service / num_servers
+    return SimulationResult(served=tuple(served),
+                            dropped_indices=tuple(dropped),
+                            num_servers=num_servers, busy_s=busy,
+                            makespan_s=makespan, utilization=utilization,
+                            offered_load=offered, max_queue_depth=max_depth)

@@ -1,0 +1,27 @@
+"""Tier-1 guard for the benchmark harness's ``--smoke`` mode.
+
+Runs the serving-scale bench exactly the way CI would
+(``pytest benchmarks/bench_serving_scale.py --smoke``) so the bench and the
+``--smoke`` conftest option cannot rot without a tier-1 failure.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def test_serving_scale_smoke_runs_quickly(tmp_path):
+    src = os.path.join(REPO_ROOT, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_RESULTS_DIR"] = str(tmp_path)   # keep the tree clean
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q",
+         os.path.join("benchmarks", "bench_serving_scale.py"), "--smoke"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "1 passed" in proc.stdout
+    assert "Serving scale" in proc.stdout

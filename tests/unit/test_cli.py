@@ -76,6 +76,43 @@ class TestTrainEvalInfer:
         assert os.path.exists(student)
 
 
+class TestServeSim:
+    def test_serve_sim_four_by_four(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "4",
+                          "--streams", "4", "--speedup", "2.0",
+                          "--window-s", "3600", "--backend", "cpu-32t",
+                          "--memory-dim", "8"])
+        assert code == 0
+        assert "4 shard(s) x 4 stream(s) @ 2x" in text
+        assert text.count("shard ") >= 4
+        assert "p95" in text and "cross-shard edges" in text
+        assert "stable" in text
+
+    def test_serve_sim_single_shard_with_batching(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "1",
+                          "--streams", "1", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--deadline-ms", "50",
+                          "--batch-edges", "128", "--memory-dim", "8"])
+        assert code == 0
+        assert "1 shard(s) x 1 stream(s)" in text
+
+    def test_serve_sim_backend_choices_track_registry(self):
+        from repro.serving import DEFAULT_REGISTRY
+        sub = [a for a in build_parser()._subparsers._group_actions[0]
+               .choices["serve-sim"]._actions if a.dest == "backend"][0]
+        assert list(sub.choices) == DEFAULT_REGISTRY.available()
+
+    def test_serve_sim_u200_prices_die_crossings(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "400", "--shards", "2",
+                          "--streams", "2", "--backend", "u200",
+                          "--window-s", "3600", "--memory-dim", "8"])
+        assert code == 0
+        assert "die crossings" in text
+
+
 class TestDseTrace:
     def test_dse_prints_frontier(self):
         code, text = run(["dse", "--platform", "zcu104", "--prune", "2"])

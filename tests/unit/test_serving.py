@@ -1,0 +1,460 @@
+"""Unit tests for the sharded multi-stream serving subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import wikipedia_like
+from repro.graph import NeighborTable, iter_fixed_size, merge_batches
+from repro.models import ModelConfig, TGNN
+from repro.perf import CPU_32T
+from repro.pipeline import ModeledGPPBackend, replay_under_load
+from repro.profiling import count_ops
+from repro.serving import (DEFAULT_REGISTRY, BackendRegistry, CoalescedJob,
+                           CrossShardMailbox, DynamicBatcher, ServingEngine,
+                           ShardRouter, StreamArrival, make_stream_arrivals,
+                           simulate_queue)
+
+CFG = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=172,
+                  num_neighbors=4, simplified_attention=True,
+                  lut_time_encoder=True, lut_bins=8, pruning_budget=2)
+
+
+def setup():
+    g = wikipedia_like(num_edges=600, num_users=80, num_items=20)
+    model = TGNN(CFG, rng=np.random.default_rng(0))
+    model.calibrate(g)
+    return g, model
+
+
+def modeled_backend(model, graph):
+    return ModeledGPPBackend(CPU_32T, count_ops(CFG), model, graph,
+                             functional=False)
+
+
+# --------------------------------------------------------------------------- #
+class TestSimulator:
+    def service(self, s):
+        return lambda payload: s
+
+    def test_utilization_counts_trailing_service(self):
+        """Regression: busy time past the last arrival used to be divided
+        away, reporting utilization > 1 for a stable trace."""
+        # Old accounting: busy 20 / last-arrival span 1 -> "2000%".
+        res = simulate_queue([(0.0, None), (1.0, None)], self.service(10.0))
+        assert res.busy_s == 20.0
+        assert res.makespan_s == pytest.approx(20.0)   # runs to last finish
+        assert res.utilization == pytest.approx(1.0)
+        # Idle gap between jobs: trailing service still counted.
+        res = simulate_queue([(0.0, None), (100.0, None)], self.service(10.0))
+        assert res.makespan_s == pytest.approx(110.0)
+        assert res.utilization == pytest.approx(20.0 / 110.0)
+
+    def test_single_job_no_denominator_blowup(self):
+        """Regression: a single-arrival trace used to divide by 1e-12."""
+        res = simulate_queue([(5.0, None)], self.service(2.0))
+        assert res.utilization == 1.0
+        assert res.offered_load == 0.0     # one job is not a process
+        assert res.stable
+        assert res.mean_wait_s == 0.0
+        assert res.mean_response_s == pytest.approx(2.0)
+
+    def test_capacity_bounds_waiting_not_in_service(self):
+        """Regression: the in-service job counted against the buffer, so a
+        capacity-2 queue started dropping at backlog 1."""
+        arrivals = [(float(i), i) for i in range(4)]
+        res = simulate_queue(arrivals, self.service(100.0), queue_capacity=2)
+        # Job 0 is in service; jobs 1 and 2 occupy the two buffer slots;
+        # only job 3 is rejected.
+        assert res.dropped_indices == (3,)
+        assert res.max_queue_depth == 2
+
+    def test_capacity_zero_is_bufferless_not_deaf(self):
+        """Regression: capacity 0 dropped every arrival, even ones an idle
+        server could start immediately — a loss system still serves jobs
+        that need no waiting."""
+        res = simulate_queue([(0.0, None), (100.0, None)],
+                             self.service(10.0), queue_capacity=0)
+        assert res.jobs == 2 and res.dropped == 0   # server idle both times
+        busy = simulate_queue([(0.0, None), (1.0, None), (200.0, None)],
+                              self.service(10.0), queue_capacity=0)
+        assert busy.dropped_indices == (1,)         # only the one that waits
+
+    def test_multi_server_shares_load(self):
+        res = simulate_queue([(0.0, None)] * 3, self.service(10.0),
+                             num_servers=2)
+        waits = sorted(j.wait_s for j in res.served)
+        assert waits == [0.0, 0.0, 10.0]
+        assert res.makespan_s == pytest.approx(20.0)
+        assert res.utilization == pytest.approx(30.0 / (2 * 20.0))
+        # Adding a server cannot increase the makespan.
+        res1 = simulate_queue([(0.0, None)] * 3, self.service(10.0))
+        assert res.makespan_s <= res1.makespan_s
+
+    def test_fifo_begin_times_monotone(self):
+        rng = np.random.default_rng(1)
+        arrivals = [(float(t), None)
+                    for t in np.sort(rng.uniform(0, 50, size=40))]
+        res = simulate_queue(arrivals,
+                             lambda _: float(rng.uniform(0.1, 3.0)),
+                             num_servers=3)
+        begins = [j.t_begin for j in res.served]
+        assert begins == sorted(begins)
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_offered_load_flags_overload(self):
+        arrivals = [(i * 1e-6, None) for i in range(20)]
+        res = simulate_queue(arrivals, self.service(1.0))
+        assert res.offered_load > 1.0
+        assert not res.stable
+        assert res.utilization <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_queue([(0.0, None)], self.service(1.0), num_servers=0)
+        with pytest.raises(ValueError):
+            simulate_queue([(1.0, None), (0.0, None)], self.service(1.0))
+        with pytest.raises(ValueError):
+            simulate_queue([(0.0, None)], self.service(1.0),
+                           queue_capacity=-1)
+
+
+# --------------------------------------------------------------------------- #
+def window_arrivals(graph, window_s=3600.0, num_streams=1, speedup=1.0):
+    return make_stream_arrivals(graph, window_s, num_streams=num_streams,
+                                speedup=speedup)
+
+
+class TestDynamicBatcher:
+    def test_passthrough_default(self):
+        g, _ = setup()
+        arrivals = window_arrivals(g)
+        jobs = DynamicBatcher().coalesce(arrivals)
+        assert len(jobs) == len(arrivals)
+        for job, a in zip(jobs, arrivals):
+            assert job.t_release == a.t
+            assert job.n_edges == len(a.batch)
+            assert job.batching_delay_s == 0.0
+
+    def test_size_only_batching_coalesces(self):
+        """Regression: ``DynamicBatcher(max_edges=N)`` used to inherit a
+        0-second deadline that flushed before the buffer ever reached N."""
+        g, _ = setup()
+        arrivals = window_arrivals(g)
+        jobs = DynamicBatcher(max_edges=40).coalesce(arrivals)
+        assert len(jobs) < len(arrivals)
+        assert any(len(j.sources) > 1 for j in jobs)
+
+    def test_size_trigger_flushes_at_arrival(self):
+        g, _ = setup()
+        arrivals = window_arrivals(g)
+        jobs = DynamicBatcher(max_edges=40,
+                              max_delay_s=float("inf")).coalesce(arrivals)
+        assert len(jobs) < len(arrivals)
+        assert sum(j.n_edges for j in jobs) == \
+            sum(len(a.batch) for a in arrivals)
+        for j in jobs[:-1]:
+            assert j.n_edges >= 40
+            assert j.t_release == j.sources[-1].t
+
+    def test_deadline_trigger_flushes_at_deadline(self):
+        b = DynamicBatcher(max_delay_s=5.0)
+        mk = lambda t: StreamArrival(t=t, stream=0, batch=_tiny_batch(t))
+        jobs = b.coalesce([mk(0.0), mk(2.0), mk(9.0), mk(11.0)])
+        # 0.0 and 2.0 coalesce and release at the 5.0 deadline; 9.0 and 11.0
+        # coalesce (11 < 9 + 5) and release at the tail deadline 14.0.
+        assert [j.t_release for j in jobs] == [5.0, 14.0]
+        assert [len(j.sources) for j in jobs] == [2, 2]
+
+    def test_merged_batch_is_chronological(self):
+        b = DynamicBatcher(max_delay_s=100.0)
+        a1 = StreamArrival(t=10.0, stream=0, batch=_tiny_batch(7.0))
+        a2 = StreamArrival(t=10.5, stream=1, batch=_tiny_batch(3.0))
+        jobs = b.coalesce([a1, a2])
+        assert len(jobs) == 1
+        assert np.all(np.diff(jobs[0].batch.t) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_edges=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher().coalesce(
+                [StreamArrival(1.0, 0, _tiny_batch(1.0)),
+                 StreamArrival(0.0, 0, _tiny_batch(0.0))])
+
+
+def _tiny_batch(t):
+    g = wikipedia_like(num_edges=4, num_users=4, num_items=2)
+    b = g.slice(0, 2)
+    return type(b)(src=b.src, dst=b.dst, t=np.full(2, t), eid=b.eid,
+                   edge_feat=b.edge_feat)
+
+
+# --------------------------------------------------------------------------- #
+class TestShardRouter:
+    def test_partition_covers_all_shards(self):
+        r = ShardRouter(4, 1000)
+        assert r.assignment.shape == (1000,)
+        assert set(np.unique(r.assignment)) == {0, 1, 2, 3}
+        counts = np.bincount(r.assignment, minlength=4)
+        assert counts.min() > 100          # roughly even spread
+
+    def test_split_routes_every_edge_to_both_owners(self):
+        g, _ = setup()
+        r = ShardRouter(4, g.num_nodes)
+        batch = g.slice(0, 200)
+        mailbox = CrossShardMailbox(4)
+        subs = r.split(batch, mailbox)
+        seen = {}
+        for sb in subs:
+            assert np.all(np.diff(sb.batch.t) >= 0)   # stream order kept
+            assert sb.mail_from.shape == (sb.mail_edges,)
+            for eid in sb.batch.eid:
+                seen.setdefault(int(eid), []).append(sb.shard)
+        s_src = r.shard_of(batch.src)
+        s_dst = r.shard_of(batch.dst)
+        for i, eid in enumerate(batch.eid):
+            owners = {int(s_src[i]), int(s_dst[i])}
+            assert sorted(seen[int(eid)]) == sorted(owners)
+        cross = int((s_src != s_dst).sum())
+        assert mailbox.total_edges == cross
+        assert sum(sb.mail_edges for sb in subs) == cross
+        assert sum(sb.local_edges for sb in subs) == len(batch)
+
+    def test_single_shard_is_identity(self):
+        g, _ = setup()
+        r = ShardRouter(1, g.num_nodes)
+        batch = g.slice(0, 100)
+        subs = r.split(batch)
+        assert len(subs) == 1
+        assert subs[0].mail_edges == 0
+        assert np.array_equal(subs[0].batch.eid, batch.eid)
+
+    def test_owned_rows_match_unsharded_neighbor_table(self):
+        """The mailbox guarantee: a shard sees every edge incident to its
+        owned vertices in stream order, so those neighbor-table rows are
+        identical to the unsharded table's."""
+        g, _ = setup()
+        mr = 4
+        r = ShardRouter(3, g.num_nodes)
+        global_table = NeighborTable(g.num_nodes, mr)
+        shard_tables = [NeighborTable(g.num_nodes, mr) for _ in range(3)]
+        for batch in iter_fixed_size(g, 50):
+            global_table.insert_edges(batch.src, batch.dst, batch.eid,
+                                      batch.t)
+            for sb in r.split(batch):
+                shard_tables[sb.shard].insert_edges(
+                    sb.batch.src, sb.batch.dst, sb.batch.eid, sb.batch.t)
+        vertices = np.arange(g.num_nodes)
+        g_all = global_table.gather(vertices)
+        for shard in range(3):
+            owned = np.flatnonzero(r.assignment == shard)
+            g_shard = shard_tables[shard].gather(owned)
+            assert np.array_equal(g_shard.mask, g_all.mask[owned])
+            assert np.array_equal(g_shard.nbrs[g_shard.mask],
+                                  g_all.nbrs[owned][g_all.mask[owned]])
+            assert np.array_equal(g_shard.times[g_shard.mask],
+                                  g_all.times[owned][g_all.mask[owned]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0, 10)
+
+
+# --------------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_builtin_names(self):
+        for name in ("software", "u200", "zcu104", "cpu-32t", "gpu"):
+            assert name in DEFAULT_REGISTRY
+
+    def test_create_builds_fresh_instances(self):
+        g, model = setup()
+        b1 = DEFAULT_REGISTRY.create("cpu-32t", model, g, functional=False)
+        b2 = DEFAULT_REGISTRY.create("cpu-32t", model, g, functional=False)
+        assert b1 is not b2
+        assert b1.process_batch(g.slice(0, 50)) > 0
+
+    def test_unknown_name_lists_available(self):
+        g, model = setup()
+        with pytest.raises(KeyError, match="software"):
+            DEFAULT_REGISTRY.create("tpu", model, g)
+
+    def test_custom_registry_and_duplicate_rejection(self):
+        reg = BackendRegistry()
+
+        @reg.register("const")
+        def _const(model, graph, **_):
+            class B:
+                name = "const"
+
+                def process_batch(self, batch):
+                    return 1e-3
+            return B()
+
+        assert reg.available() == ["const"]
+        assert reg.create("const", None, None).process_batch(None) == 1e-3
+        with pytest.raises(ValueError):
+            reg.register("const", _const)
+
+
+# --------------------------------------------------------------------------- #
+class TestServingEngine:
+    def test_single_shard_matches_replay_under_load(self):
+        """Acceptance: shards=1 reproduces the single-server path exactly."""
+        g, model = setup()
+        qs = replay_under_load(modeled_backend(model, g), g,
+                               window_s=3600.0, start=300, speedup=40.0)
+        engine = ServingEngine([modeled_backend(model, g)], g.num_nodes)
+        rep = engine.run(g, window_s=3600.0, start=300, speedup=40.0)
+        s0 = rep.shard_stats[0]
+        assert rep.windows == qs.windows
+        assert s0.utilization == pytest.approx(qs.utilization)
+        assert s0.mean_wait_s == pytest.approx(qs.mean_wait_s)
+        assert s0.p95_response_s == pytest.approx(qs.p95_response_s)
+        assert rep.p95_response_s == pytest.approx(qs.p95_response_s)
+        assert rep.mean_response_s == pytest.approx(qs.mean_response_s)
+        assert rep.cross_shard_edges == 0
+
+    def test_four_shards_four_streams_end_to_end(self):
+        """Acceptance: 4 shards x 4 streams at speedup=2.0 completes."""
+        g, model = setup()
+        engine = ServingEngine([modeled_backend(model, g)
+                                for _ in range(4)], g.num_nodes)
+        rep = engine.run(g, window_s=3600.0, speedup=2.0, num_streams=4)
+        fresh = ServingEngine([modeled_backend(model, g)
+                               for _ in range(4)], g.num_nodes)
+        base = fresh.run(g, window_s=3600.0, speedup=2.0, num_streams=1)
+        assert rep.num_shards == 4 and rep.num_streams == 4
+        assert len(rep.shard_stats) == 4
+        assert rep.windows == 4 * base.windows
+        assert rep.dropped_windows == 0
+        assert rep.p95_response_s > 0
+        assert all(s.jobs > 0 for s in rep.shard_stats)
+        assert rep.cross_shard_edges > 0
+        assert rep.processed_edges == \
+            rep.ingested_edges + rep.cross_shard_edges
+        # Every stat the issue demands is populated per shard.
+        for s in rep.shard_stats:
+            assert 0.0 <= s.utilization <= 1.0
+            assert s.p95_response_s <= s.p99_response_s or \
+                s.p99_response_s == pytest.approx(s.p95_response_s, rel=1e-6)
+            assert s.dropped_jobs == 0
+
+    def test_from_registry_heterogeneous_shards(self):
+        g, model = setup()
+        engine = ServingEngine.from_registry(
+            ["cpu-32t", "gpu"], model, g,
+            backend_kwargs={"functional": False})
+        rep = engine.run(g, window_s=3600.0, speedup=2.0)
+        names = [s.backend for s in rep.shard_stats]
+        assert len(names) == 2 and names[0] != names[1]
+
+    def test_deadline_batching_reduces_jobs(self):
+        g, model = setup()
+        passthrough = ServingEngine([modeled_backend(model, g)],
+                                    g.num_nodes)
+        coalescing = ServingEngine([modeled_backend(model, g)], g.num_nodes,
+                                   batcher=DynamicBatcher(max_delay_s=1e4))
+        r1 = passthrough.run(g, window_s=3600.0)
+        r2 = coalescing.run(g, window_s=3600.0)
+        assert r2.shard_stats[0].jobs < r1.shard_stats[0].jobs
+        assert r2.windows == r1.windows    # no arrivals lost, just batched
+
+    def test_queue_capacity_drops_windows(self):
+        g, model = setup()
+
+        class SlowBackend:
+            name = "slow"
+
+            def process_batch(self, batch):
+                return 100.0
+
+        engine = ServingEngine([SlowBackend()], g.num_nodes)
+        rep = engine.run(g, window_s=3600.0, speedup=1e9, queue_capacity=2)
+        assert rep.dropped_windows > 0
+        assert not rep.stable
+
+    def test_dropped_jobs_not_counted_as_processed(self):
+        """Regression: traffic used to be recorded at split time, so edges
+        rejected by a full queue inflated processed/cross-shard/throughput
+        numbers."""
+        g, model = setup()
+
+        class SlowBackend:
+            name = "slow"
+
+            def process_batch(self, batch):
+                return 100.0
+
+        engine = ServingEngine([SlowBackend(), SlowBackend()], g.num_nodes)
+        rep = engine.run(g, window_s=3600.0, speedup=1e9, queue_capacity=1)
+        assert rep.dropped_windows > 0
+        # Only the handful of actually-served jobs may count as processed.
+        assert rep.processed_edges < rep.ingested_edges
+        assert rep.processed_edges == sum(s.edges for s in rep.shard_stats)
+        assert rep.cross_shard_edges == \
+            sum(s.mail_in_edges for s in rep.shard_stats)
+        assert 0 <= rep.served_edges <= rep.processed_edges
+        assert rep.throughput_eps * rep.makespan_s == \
+            pytest.approx(rep.served_edges)
+
+    def test_cross_die_mail_penalty_increases_busy(self):
+        g, model = setup()
+        free = ServingEngine([modeled_backend(model, g) for _ in range(4)],
+                             g.num_nodes)
+        taxed = ServingEngine([modeled_backend(model, g) for _ in range(4)],
+                              g.num_nodes, die_of=[0, 1, 0, 1],
+                              mail_hop_s=1e-4)
+        r0 = free.run(g, window_s=3600.0)
+        r1 = taxed.run(g, window_s=3600.0)
+        assert r1.cross_die_mail_edges > 0
+        assert r0.cross_die_mail_edges == 0
+        assert sum(s.busy_s for s in r1.shard_stats) > \
+            sum(s.busy_s for s in r0.shard_stats)
+
+    def test_validation(self):
+        g, model = setup()
+        with pytest.raises(ValueError):
+            ServingEngine([], g.num_nodes)
+        with pytest.raises(ValueError):
+            ServingEngine.from_registry("cpu-32t", model, g, num_shards=0)
+        with pytest.raises(ValueError):
+            ServingEngine([modeled_backend(model, g)], g.num_nodes,
+                          die_of=[0, 1])
+        engine = ServingEngine([modeled_backend(model, g)], g.num_nodes)
+        with pytest.raises(ValueError):
+            engine.run(g, window_s=0.0)
+        with pytest.raises(ValueError):
+            engine.run(g, window_s=10.0, num_streams=0)
+
+
+# --------------------------------------------------------------------------- #
+class TestReplayWrapperRegressions:
+    def test_single_window_stream_sane_utilization(self):
+        """Regression: one-window streams divided busy time by 1e-12."""
+        g = wikipedia_like(num_edges=30, num_users=10, num_items=4)
+
+        class ConstBackend:
+            def process_batch(self, batch):
+                return 0.5
+
+        stats = replay_under_load(ConstBackend(), g, window_s=1e9)
+        assert stats.windows == 1
+        assert stats.utilization == 1.0
+        assert stats.stable
+
+    def test_overload_utilization_bounded(self):
+        """Regression: utilization could exceed 1 when service spilled past
+        the last arrival; offered load now carries the overload signal."""
+        g, model = setup()
+
+        class SlowBackend:
+            def process_batch(self, batch):
+                return 10.0
+
+        stats = replay_under_load(SlowBackend(), g, window_s=3600.0,
+                                  speedup=1e9)
+        assert stats.utilization <= 1.0
+        assert stats.offered_load > 1.0
+        assert not stats.stable

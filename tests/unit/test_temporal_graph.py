@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.graph import TemporalGraph, iter_fixed_size, iter_time_windows
+from repro.graph import (TemporalGraph, iter_fixed_size,
+                         iter_time_window_spans, iter_time_windows)
 
 
 def small_graph(n=10):
@@ -116,3 +117,46 @@ class TestTimeWindowBatching:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             list(iter_time_windows(small_graph(), 0.0))
+
+
+class TestTimeWindowSpans:
+    """Window-boundary reporting, gap skipping, and the round-off guard."""
+
+    def test_spans_contain_their_edges(self):
+        g = small_graph()  # edges at t = 0, 10, ..., 90
+        for w_start, w_end, b in iter_time_window_spans(g, window=25.0):
+            assert w_end == w_start + 25.0
+            assert np.all(b.t >= w_start) and np.all(b.t < w_end)
+
+    def test_multi_window_gap_keeps_alignment(self):
+        # A gap spanning many empty windows: the next span must stay on the
+        # original 10 s grid (100 lands in [100, 110), not in a re-aligned
+        # window), and no empty batch is ever yielded.
+        t = np.array([0.0, 1.0, 100.0, 101.0, 502.0])
+        g = TemporalGraph([0] * 5, [1, 2, 3, 4, 1], t)
+        spans = list(iter_time_window_spans(g, window=10.0))
+        assert [(s, e) for s, e, _ in spans] == \
+            [(0.0, 10.0), (100.0, 110.0), (500.0, 510.0)]
+        assert all(len(b) > 0 for _, _, b in spans)
+        assert sum(len(b) for _, _, b in spans) == g.num_edges
+
+    def test_float_round_off_guard_realigns(self):
+        # After the first window the grid sits at 0.1; the skip to t = 0.7
+        # computes floor(0.6 / 0.1) = 5 in float64 and lands the window at
+        # [0.6, 0.7), which excludes t = 0.7 (0.6 + 0.1 rounds just below
+        # 0.7).  The guard must re-anchor the window at the edge instead of
+        # yielding an empty batch.
+        g = TemporalGraph([0, 0], [1, 2], np.array([0.0, 0.7]))
+        spans = list(iter_time_window_spans(g, window=0.1))
+        assert len(spans) == 2
+        assert spans[1][0] == 0.7           # re-anchored, not 0.6
+        assert all(len(b) == 1 for _, _, b in spans)
+        for w_start, w_end, b in spans:
+            assert np.all(b.t >= w_start) and np.all(b.t < w_end)
+
+    def test_windows_view_matches_spans(self):
+        g = small_graph()
+        from_windows = [b.eid.tolist() for b in iter_time_windows(g, 7.0)]
+        from_spans = [b.eid.tolist()
+                      for _, _, b in iter_time_window_spans(g, 7.0)]
+        assert from_windows == from_spans
