@@ -25,6 +25,13 @@ def pytest_configure(config):
     config.option.verbose = max(config.option.verbose, 0)
     config.addinivalue_line(
         "markers", "smoke: bench supports the --smoke reduced workload")
+    # Registered here as well as in the repo-root conftest so a bench file
+    # can be run from inside benchmarks/ (different rootdir) without
+    # tripping --strict-markers; the root conftest owns the deselection.
+    config.addinivalue_line(
+        "markers",
+        "tier2: slow statistical test, excluded from tier-1; run with "
+        "`pytest -m tier2`")
 
 
 @pytest.fixture(scope="session")

@@ -11,9 +11,12 @@ Commands
 ``dse``     design-space sweep + Pareto frontier for a platform.
 ``trace``   simulate a few batches with tracing and print the ASCII Gantt
             chart + per-stage utilization.
-``serve-sim``  sharded multi-stream serving simulation: N shards x M
-            streams through a named backend, with dynamic batching and
-            per-shard queueing statistics.
+``serve-sim``  multi-stream serving simulation: N shards (or a shared-queue
+            pool of N replicas) x M streams through a named backend, with
+            dynamic batching, placement policies
+            (``--placement hash|rebalance|replicate``), and per-shard
+            queueing statistics; ``--json`` writes a canonical
+            (byte-stable) report.
 
 Every command is a plain function taking parsed args, so tests invoke them
 without subprocesses.
@@ -99,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dynamic batcher flush deadline (default: "
                         "passthrough, or unbounded with --batch-edges)")
     v.add_argument("--queue-capacity", type=int, default=None)
+    from .serving.placement import PLACEMENT_POLICIES
+    v.add_argument("--placement", default="hash",
+                   choices=sorted(PLACEMENT_POLICIES),
+                   help="vertex placement policy (sharded topology); "
+                        "'rebalance' runs a hash-placed profiling pass "
+                        "first and migrates hot vertices off overloaded "
+                        "shards")
+    v.add_argument("--topology", default="sharded",
+                   choices=["sharded", "pool"],
+                   help="partitioned shards with dedicated queues, or a "
+                        "pool of stateless replicas behind one shared "
+                        "queue")
+    v.add_argument("--util-threshold", type=float, default=0.75,
+                   help="rebalance: migrate off shards above this measured "
+                        "utilization")
+    v.add_argument("--replicate-top-k", type=int, default=8,
+                   help="replicate: how many read-mostly hot vertices to "
+                        "replicate")
+    v.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report as canonical JSON (byte-"
+                        "identical across runs with the same arguments on "
+                        "the modeled/simulated backends; the 'software' "
+                        "backend measures wall-clock and will differ)")
     v.add_argument("--model", default=None,
                    help="optional checkpoint (.npz); default builds NP(4)")
     v.add_argument("--memory-dim", type=int, default=32)
@@ -249,7 +275,8 @@ def cmd_trace(args, out=print) -> int:
 
 def cmd_serve_sim(args, out=print) -> int:
     from .models import ModelConfig, TGNN, load_model
-    from .serving import DEFAULT_REGISTRY, DynamicBatcher, ServingEngine
+    from .serving import (DEFAULT_REGISTRY, DynamicBatcher, ServingEngine,
+                          VertexHeat, make_policy)
     graph = _dataset(args)
     if args.model:
         model = load_model(args.model)
@@ -264,17 +291,6 @@ def cmd_serve_sim(args, out=print) -> int:
         model.calibrate(graph)
         model.prepare_inference()
 
-    engine_kwargs = {}
-    if args.backend in ("u200", "zcu104"):
-        # Price cross-shard mailbox traffic at the SLR-crossing latency of
-        # the simulated part (single-die parts get an all-zero penalty).
-        from .hw import U200_DESIGN, ZCU104_DESIGN, plan_shard_dies
-        design = U200_DESIGN if args.backend == "u200" else ZCU104_DESIGN
-        engine_kwargs["die_of"] = plan_shard_dies(args.shards,
-                                                  design.platform.dies)
-        engine_kwargs["mail_hop_s"] = \
-            design.die_crossing_cycles * design.clock_s
-
     batcher = DynamicBatcher(
         max_edges=args.batch_edges,
         max_delay_s=None if args.deadline_ms is None
@@ -283,16 +299,89 @@ def cmd_serve_sim(args, out=print) -> int:
     # skip the (never-read) per-shard functional inference entirely.
     backend_kwargs = {"functional": False} \
         if args.backend in ("cpu-32t", "gpu") else None
-    engine = ServingEngine.from_registry(
-        args.backend, model, graph, num_shards=args.shards,
-        registry=DEFAULT_REGISTRY, backend_kwargs=backend_kwargs,
-        batcher=batcher, **engine_kwargs)
-    report = engine.run(graph, window_s=args.window_s,
-                        speedup=args.speedup, num_streams=args.streams,
-                        queue_capacity=args.queue_capacity)
+    fpga_design = None
+    if args.backend in ("u200", "zcu104"):
+        from .hw import U200_DESIGN, ZCU104_DESIGN
+        fpga_design = U200_DESIGN if args.backend == "u200" \
+            else ZCU104_DESIGN
 
-    out(f"serve-sim: {report.num_shards} shard(s) x {report.num_streams} "
-        f"stream(s) @ {report.speedup:g}x load on {args.backend}")
+    def build_engine(placement=None, die_of=None):
+        # Price cross-shard mailbox traffic at the SLR-crossing latency of
+        # the simulated part (single-die parts get an all-zero penalty;
+        # pool replicas forward nothing, so no penalty applies there).
+        kwargs = {}
+        if placement is not None:
+            kwargs["placement"] = placement
+        if fpga_design is not None and args.topology == "sharded":
+            kwargs["die_of"] = die_of
+            kwargs["mail_hop_s"] = \
+                fpga_design.die_crossing_cycles * fpga_design.clock_s
+        return ServingEngine.from_registry(
+            args.backend, model, graph, num_shards=args.shards,
+            registry=DEFAULT_REGISTRY, backend_kwargs=backend_kwargs,
+            batcher=batcher, topology=args.topology, **kwargs)
+
+    def run(engine):
+        return engine.run(graph, window_s=args.window_s,
+                          speedup=args.speedup, num_streams=args.streams,
+                          queue_capacity=args.queue_capacity)
+
+    def plan_dies(placement):
+        if fpga_design is None or args.topology != "sharded":
+            return None
+        dies = fpga_design.platform.dies
+        # Branch on whether the placement actually changed anything — a
+        # rebalance *profiling* pass is still the hash partition and must
+        # be priced exactly as `--placement hash` would deploy.
+        unchanged = placement is None or (not placement.moved_vertices
+                                          and not placement.replicas)
+        if unchanged:
+            from .hw import plan_shard_dies
+            return plan_shard_dies(args.shards, dies)
+        # The policy moved/replicated vertices, so the expected mailbox
+        # traffic matrix changed: re-plan the shard -> die assignment
+        # against the *new* traffic so die crossings are priced correctly.
+        from .hw import plan_shard_dies_traffic_aware
+        return plan_shard_dies_traffic_aware(
+            placement.mail_matrix(graph.src, graph.dst), dies)
+
+    placement = None
+    if args.topology == "sharded":
+        heat = VertexHeat.from_graph(graph)
+        if args.placement == "rebalance":
+            policy = make_policy("rebalance",
+                                 util_threshold=args.util_threshold)
+            base = policy.place(heat, args.shards)      # hash baseline
+            profile = run(build_engine(die_of=plan_dies(base))).shard_stats
+            placement = policy.place(heat, args.shards, profile=profile)
+            out(f"rebalance: profiled max util "
+                f"{max(s.utilization for s in profile) * 100:.2f}%, "
+                f"migrated {len(placement.moved_vertices)} vertex(es) off "
+                f"shards above {args.util_threshold * 100:.0f}%")
+        elif args.placement == "replicate":
+            placement = make_policy(
+                "replicate", top_k=args.replicate_top_k).place(heat,
+                                                               args.shards)
+            out(f"replicate: {placement.replicated_vertices} read-mostly "
+                f"vertex(es) replicated "
+                f"({placement.replica_copies} extra copies)")
+        else:
+            placement = make_policy("hash").place(heat, args.shards)
+    elif args.placement != "hash":
+        out(f"note: --placement {args.placement} is ignored in pool "
+            f"topology (replicas share one queue and one state store)")
+
+    engine = build_engine(placement=placement, die_of=plan_dies(placement))
+    report = run(engine)
+
+    if args.topology == "pool":
+        label = (f"serve-sim: pool of {report.shard_stats[0].servers} "
+                 f"replica(s) x {report.num_streams} stream(s)")
+    else:
+        label = (f"serve-sim: {report.num_shards} shard(s) x "
+                 f"{report.num_streams} stream(s)")
+    out(f"{label} @ {report.speedup:g}x load on {args.backend} "
+        f"[placement {report.placement}]")
     for s in report.shard_stats:
         out(f"  shard {s.shard}: util {s.utilization * 100:6.2f}%  "
             f"jobs {s.jobs}  edges {s.edges} (mail {s.mail_in_edges})  "
@@ -304,8 +393,13 @@ def cmd_serve_sim(args, out=print) -> int:
         f"throughput {report.throughput_eps / 1e3:.2f} kE/s")
     out(f"cross-shard edges {report.cross_shard_edges} "
         f"(x{report.replication_factor:.2f} replication, "
+        f"{report.replicated_vertices} replicated vertices, "
         f"{report.cross_die_mail_edges} die crossings); "
         f"{'stable' if report.stable else 'OVERLOADED'}")
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(report.to_json() + "\n")
+        out(f"wrote JSON report to {args.json}")
     return 0
 
 

@@ -6,7 +6,8 @@ from .dse import (DesignPoint, SweepSpec, best_design, explore,  # noqa: F401
                   pareto_frontier)
 from .eu import EU_STAGES, EmbeddingUnit  # noqa: F401
 from .memory_model import DDRModel  # noqa: F401
-from .multi_die import Floorplan, plan_floorplan, plan_shard_dies  # noqa: F401
+from .multi_die import (Floorplan, plan_floorplan,  # noqa: F401
+                        plan_shard_dies, plan_shard_dies_traffic_aware)
 from .muu import MUU_STAGES, MemoryUpdateUnit  # noqa: F401
 from .platforms import U200, ZCU104, FPGAPlatform  # noqa: F401
 from .resources import ResourceEstimate, estimate_resources  # noqa: F401
@@ -24,5 +25,6 @@ __all__ = [
     "ResourceEstimate", "estimate_resources",
     "DesignPoint", "SweepSpec", "explore", "pareto_frontier", "best_design",
     "Floorplan", "plan_floorplan", "plan_shard_dies",
+    "plan_shard_dies_traffic_aware",
     "stage_utilization", "render_gantt", "pipeline_overlap",
 ]

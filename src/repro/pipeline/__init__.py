@@ -22,15 +22,16 @@ constructible by name (per serving shard, from the CLI), add a factory to
 :class:`repro.serving.BackendRegistry`.
 """
 
-from .engine import (EngineReport, ModeledGPPBackend,  # noqa: F401
-                     SimulatedFPGABackend, SoftwareBackend, run_engine)
+from .engine import (EngineReport, LinearCostBackend,  # noqa: F401
+                     ModeledGPPBackend, SimulatedFPGABackend,
+                     SoftwareBackend, run_engine)
 from .queueing import QueueStats, replay_under_load  # noqa: F401
 from .realtime import (FIFTEEN_MINUTES, WindowPoint,  # noqa: F401
                        realtime_replay, summarize)
 
 __all__ = [
     "EngineReport", "SoftwareBackend", "SimulatedFPGABackend",
-    "ModeledGPPBackend", "run_engine",
+    "ModeledGPPBackend", "LinearCostBackend", "run_engine",
     "realtime_replay", "WindowPoint", "FIFTEEN_MINUTES", "summarize",
     "QueueStats", "replay_under_load",
 ]

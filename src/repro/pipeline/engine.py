@@ -12,6 +12,10 @@ Three backend families, one protocol (``process_batch -> latency seconds``):
 * :class:`ModeledGPPBackend` — prices batches with a calibrated
   :class:`~repro.perf.gpp.GPPCostModel` (the CPU-32T / GPU substitution)
   while still advancing functional state so downstream accuracy is exact.
+
+:class:`LinearCostBackend` is the degenerate fourth member: an exact
+``overhead + N * per_edge`` price with no functional state, for tests and
+benchmarks that isolate queueing/placement effects from cost-model shape.
 """
 
 from __future__ import annotations
@@ -29,7 +33,29 @@ from ..perf.gpp import GPPCostModel
 from ..profiling.op_counter import OpCounts
 
 __all__ = ["EngineReport", "SoftwareBackend", "SimulatedFPGABackend",
-           "ModeledGPPBackend", "run_engine"]
+           "ModeledGPPBackend", "LinearCostBackend", "run_engine"]
+
+
+class LinearCostBackend:
+    """Deterministic fixed-overhead + linear per-edge timing backend.
+
+    No functional state and no model: ``process_batch`` costs exactly
+    ``overhead_s + len(batch) * per_edge_s``.  The placement/pool tests and
+    benchmarks use it to compare queue topologies on known service times —
+    overhead-dominated vs marginal-cost-dominated regimes — without
+    cost-model noise.
+    """
+
+    name = "linear-cost"
+
+    def __init__(self, per_edge_s: float = 1e-3, overhead_s: float = 0.0):
+        if per_edge_s < 0 or overhead_s < 0:
+            raise ValueError("per_edge_s and overhead_s must be >= 0")
+        self.per_edge_s = float(per_edge_s)
+        self.overhead_s = float(overhead_s)
+
+    def process_batch(self, batch: EdgeBatch) -> float:
+        return self.overhead_s + len(batch) * self.per_edge_s
 
 
 @dataclass

@@ -1,25 +1,55 @@
-"""Sharded, multi-stream serving layer in front of the engine backends.
+"""Sharded / pooled multi-stream serving layer in front of the engine backends.
 
 The ``pipeline`` package answers "how fast is one batch on one idle
 device"; this package answers the production question: how does a fleet of
 shards behave when many streams hit it at once.  Components:
 
-* :class:`ShardRouter` — hash-partitions vertex state over N shards, with
-  cross-shard edges resolved through a :class:`CrossShardMailbox`;
+* :class:`ShardRouter` — partitions vertex state over N shards according to
+  a :class:`Placement`, with cross-shard edges resolved through a
+  :class:`CrossShardMailbox`;
 * :class:`DynamicBatcher` — size- or deadline-triggered coalescing of
   arrivals across streams;
 * :func:`simulate_queue` — event-driven multi-server FIFO queue simulation
-  (the generalized, bug-fixed replacement for the old single-server loop in
-  ``pipeline/queueing.py``);
+  (validated against closed-form M/M/1 and M/M/c in the tier-2 queueing
+  tests);
 * :class:`BackendRegistry` — backends constructed by name, pluggable per
   shard;
 * :class:`ServingEngine` — the composition, reporting per-shard
-  utilization/wait/p95/p99/drops and end-to-end window response times.
+  utilization/wait/p95/p99/drops and end-to-end window response times, in
+  either topology (``sharded`` fork-join shards, or ``pool`` — K stateless
+  replicas behind one shared queue).
+
+Placement-policy protocol
+-------------------------
+Where each vertex lives is a policy, not a constant.  A policy implements
+
+    ``place(heat: VertexHeat, num_shards: int, profile=None) -> Placement``
+
+where ``heat`` carries per-vertex source/destination edge counts and
+``profile`` is optional measured feedback (per-shard ``ShardStats`` from a
+profiling run).  The returned :class:`Placement` names a primary owner per
+vertex plus optional replica shards; the router delivers every incident
+edge to every holder, so replica state is exact.  Built-ins:
+
+* :class:`StaticHashPlacement` (``"hash"``) — PR 1's multiplicative hash;
+* :class:`LoadAwareRebalance` (``"rebalance"``) — profile-guided migration
+  of the hottest vertices off shards above a utilization threshold;
+* :class:`ReplicatedReadMostly` (``"replicate"``) — replicates high-fanout
+  read-mostly vertices; the maintenance cost surfaces as
+  ``ServingReport.replication_factor`` (one count per replica per incident
+  edge).
+
+Register new policies in :data:`PLACEMENT_POLICIES` (name -> class); the
+``serve-sim`` CLI and ``bench_serving_scale`` sweep whatever is there.
 """
 
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
 from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
                      make_stream_arrivals)
+from .placement import (PLACEMENT_POLICIES, LoadAwareRebalance,  # noqa: F401
+                        Placement, PlacementPolicy, ReplicatedReadMostly,
+                        StaticHashPlacement, VertexHeat, hash_assignment,
+                        make_policy)
 from .registry import DEFAULT_REGISTRY, BackendRegistry  # noqa: F401
 from .router import CrossShardMailbox, ShardBatch, ShardRouter  # noqa: F401
 from .simulator import (ServedJob, SimulationResult,  # noqa: F401
@@ -31,4 +61,7 @@ __all__ = [
     "DynamicBatcher", "CoalescedJob", "StreamArrival",
     "simulate_queue", "SimulationResult", "ServedJob",
     "BackendRegistry", "DEFAULT_REGISTRY",
+    "Placement", "PlacementPolicy", "VertexHeat", "hash_assignment",
+    "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
+    "PLACEMENT_POLICIES", "make_policy",
 ]

@@ -59,8 +59,11 @@ class DynamicBatcher:
     Parameters
     ----------
     max_edges:
-        Flush as soon as the buffer holds at least this many edges
-        (``None`` disables the size trigger).
+        Device batch capacity.  The buffer is flushed *before* admitting an
+        arrival that would push it past this cap (and immediately once it
+        reaches the cap), so a coalesced job never exceeds ``max_edges``
+        unless a single arrival alone does — that oversized arrival becomes
+        its own job.  ``None`` disables the size trigger.
     max_delay_s:
         Flush when the oldest buffered arrival is this old.  ``0`` releases
         every arrival immediately (passthrough).  The default ``None``
@@ -107,6 +110,13 @@ class DynamicBatcher:
         for a in arrivals:
             if pending and a.t >= pending[0].t + self.max_delay_s:
                 flush(pending[0].t + self.max_delay_s)
+            # Overflow guard: admitting this arrival would push the buffer
+            # past the size cap, so release the buffered job first.  Only a
+            # single arrival larger than ``max_edges`` can therefore ever
+            # produce an oversized job (it has nowhere else to go).
+            if self.max_edges is not None and pending \
+                    and pending_edges + len(a) > self.max_edges:
+                flush(a.t)
             pending.append(a)
             pending_edges += len(a)
             if self.max_edges is not None and pending_edges >= self.max_edges:

@@ -1,15 +1,27 @@
-"""Sharded multi-stream serving engine.
+"""Sharded / pooled multi-stream serving engine.
 
 This is the production-deployment composition the single-device replay in
 ``pipeline/`` cannot express: many concurrent edge streams hit an ingest
 tier, a :class:`~repro.serving.batcher.DynamicBatcher` coalesces their
-windows under a latency deadline, a
-:class:`~repro.serving.router.ShardRouter` splits each released batch
-across hash-partitioned shards, and every shard — owning its own backend
-and :class:`~repro.models.tgn.ModelRuntime` — serves its sub-batches
-through a FIFO queue simulated by
-:func:`~repro.serving.simulator.simulate_queue`.  A window's response time
-is fork-join: it completes when the *last* involved shard finishes.
+windows under a latency deadline, and the released jobs are served by one
+of two **topologies**:
+
+``sharded`` (default)
+    A :class:`~repro.serving.router.ShardRouter` splits each job across
+    partitioned shards (the partition comes from a
+    :class:`~repro.serving.placement.Placement`); every shard — owning its
+    own backend and :class:`~repro.models.tgn.ModelRuntime` — serves its
+    sub-batches through a dedicated FIFO queue.  A window's response time
+    is fork-join: it completes when the *last* involved shard finishes.
+
+``pool``
+    K stateless replicas behind **one shared queue**
+    (:func:`~repro.serving.simulator.simulate_queue` with ``servers=K``).
+    Jobs are not split: any free replica serves the whole job against the
+    shared state store, so nothing is forwarded, every edge is processed
+    once, and no replica idles while another has a backlog.  The price is
+    that a job gets no intra-job parallelism — the classic
+    pooling-vs-partitioning trade the benchmark sweeps.
 
 Workload model: each stream replays the graph's own window arrival
 process, phase-shifted by a fraction of a window, so ``num_streams = S``
@@ -22,7 +34,8 @@ equivalence tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 import numpy as np
@@ -30,6 +43,7 @@ import numpy as np
 from ..graph.batching import iter_time_windows
 from ..graph.temporal_graph import TemporalGraph
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
+from .placement import Placement
 from .registry import DEFAULT_REGISTRY, BackendRegistry
 from .router import CrossShardMailbox, ShardRouter
 from .simulator import SimulationResult, simulate_queue
@@ -37,10 +51,16 @@ from .simulator import SimulationResult, simulate_queue
 __all__ = ["ShardStats", "ServingReport", "ServingEngine",
            "make_stream_arrivals"]
 
+TOPOLOGIES = ("sharded", "pool")
+
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Per-shard queueing and traffic statistics."""
+    """Per-shard queueing and traffic statistics.
+
+    In pool topology there is a single entry describing the shared queue;
+    ``servers`` is the replica count (always 1 for partitioned shards).
+    """
 
     shard: int
     backend: str
@@ -57,6 +77,7 @@ class ShardStats:
     p99_response_s: float
     max_queue_depth: int
     dropped_jobs: int
+    servers: int = 1
 
     @property
     def stable(self) -> bool:
@@ -65,7 +86,7 @@ class ShardStats:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """End-to-end outcome of a sharded multi-stream replay."""
+    """End-to-end outcome of a multi-stream replay (sharded or pooled)."""
 
     num_shards: int
     num_streams: int
@@ -78,11 +99,16 @@ class ServingReport:
     p99_response_s: float
     makespan_s: float
     ingested_edges: int         # edges offered by the streams
-    processed_edges: int        # edges actually serviced (incl. cross-shard
-                                # duplication); drops are excluded
-    cross_shard_edges: int      # mailbox traffic actually serviced
+    processed_edges: int        # edge *applications* actually serviced: one
+                                # count per shard that applied the edge
+                                # (local + every mailbox delivery); drops
+                                # are excluded
+    cross_shard_edges: int      # mailbox deliveries actually serviced
     cross_die_mail_edges: int   # mailbox traffic that crossed a die
     shard_stats: tuple[ShardStats, ...]
+    topology: str = "sharded"
+    placement: str = "hash"     # placement policy name ("none" for pool)
+    replicated_vertices: int = 0  # vertices held by more than one shard
 
     @property
     def stable(self) -> bool:
@@ -100,9 +126,37 @@ class ServingReport:
 
     @property
     def replication_factor(self) -> float:
-        """Processed / served edges — the cost of cross-shard edges."""
+        """Mean state-update applications per served edge.
+
+        Definition (tested; keeps pool and replicated-sharded runs
+        comparable): ``processed_edges / served_edges``, where every shard
+        that applies an edge contributes **one count** — the source owner's
+        local application plus one per mailbox delivery.  Hence a vertex
+        replicated onto ``r`` extra shards adds ``r`` counts for each of
+        its incident edges (once per replica), a plain cross-shard edge
+        counts 2, an intra-shard edge counts 1, and a pool run — where one
+        replica serves each job against the shared store — reports exactly
+        1.0.  ``0.0`` when nothing was served.
+        """
         return self.processed_edges / self.served_edges \
             if self.served_edges else 0.0
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-python dict (derived metrics included) for JSON reports."""
+        d = asdict(self)
+        d["shard_stats"] = [dict(asdict(s), stable=bool(s.stable))
+                            for s in self.shard_stats]
+        d.update(stable=bool(self.stable),
+                 served_edges=int(self.served_edges),
+                 throughput_eps=float(self.throughput_eps),
+                 replication_factor=float(self.replication_factor))
+        return d
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed separators — byte-stable for
+        identical runs (the golden-determinism contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
 
 
 def make_stream_arrivals(graph: TemporalGraph, window_s: float,
@@ -138,40 +192,81 @@ def make_stream_arrivals(graph: TemporalGraph, window_s: float,
 
 
 class ServingEngine:
-    """Shard-parallel serving in front of per-shard engine backends.
+    """Shard-parallel or pooled serving in front of engine backends.
 
     Parameters
     ----------
     backends:
-        One backend per shard (engine protocol, each with its own runtime).
+        Sharded topology: one backend per shard (engine protocol, each with
+        its own runtime).  Pool topology: the timing replica — replicas are
+        stateless, so one backend prices every job against the shared
+        state store (``pool_servers`` sets the replica count).
     num_nodes:
-        Vertex count, for the router's hash partition.
+        Vertex count, for the router's partition.
     batcher:
         Cross-stream coalescing policy; default is passthrough.
     router:
         Vertex partition; default hash-partitions over ``len(backends)``.
+        Mutually exclusive with ``placement``.
+    placement:
+        A :class:`~repro.serving.placement.Placement` from a placement
+        policy; the router is built from it.
     die_of:
         Optional shard -> die assignment (see
-        :func:`repro.hw.plan_shard_dies`).  With ``mail_hop_s`` it prices
-        cross-die mailbox traffic into the receiving shard's service time.
+        :func:`repro.hw.plan_shard_dies` /
+        :func:`repro.hw.plan_shard_dies_traffic_aware`).  With
+        ``mail_hop_s`` it prices cross-die mailbox traffic into the
+        receiving shard's service time.
     mail_hop_s:
         Seconds added per forwarded edge that crosses a die boundary.
+    topology:
+        ``"sharded"`` (default) or ``"pool"``.
+    pool_servers:
+        Replica count behind the shared queue (pool topology only;
+        defaults to ``len(backends)``).
     """
 
     def __init__(self, backends: Sequence, num_nodes: int,
                  batcher: DynamicBatcher | None = None,
                  router: ShardRouter | None = None,
+                 placement: Placement | None = None,
                  die_of: Sequence[int] | None = None,
-                 mail_hop_s: float = 0.0):
+                 mail_hop_s: float = 0.0,
+                 topology: str = "sharded",
+                 pool_servers: int | None = None):
         if not backends:
             raise ValueError("need at least one backend")
+        if topology not in TOPOLOGIES:
+            raise ValueError(f"topology must be one of {TOPOLOGIES}")
+        if router is not None and placement is not None:
+            raise ValueError("pass either router or placement, not both")
+        if pool_servers is not None:
+            if topology != "pool":
+                raise ValueError("pool_servers requires topology='pool'")
+            if pool_servers <= 0:
+                raise ValueError("pool_servers must be positive")
+        if topology == "pool":
+            if len(backends) != 1:
+                raise ValueError(
+                    "pool topology takes exactly one timing backend "
+                    "(replicas are identical and stateless); set "
+                    "pool_servers=K for the replica count")
+            if router is not None or placement is not None \
+                    or die_of is not None or mail_hop_s:
+                raise ValueError(
+                    "pool topology has no partition: router, placement, "
+                    "die_of, and mail_hop_s do not apply")
         self.backends = list(backends)
         self.num_shards = len(self.backends)
         self.batcher = batcher or DynamicBatcher()
+        self.topology = topology
+        self.pool_servers = int(pool_servers or len(self.backends))
+        if placement is not None:
+            router = ShardRouter.from_placement(placement)
         self.router = router or ShardRouter(self.num_shards, num_nodes)
-        if self.router.num_shards != self.num_shards:
+        if topology == "sharded" and self.router.num_shards != self.num_shards:
             raise ValueError("router shard count must match backend count")
-        if die_of is not None and len(die_of) != self.num_shards:
+        if die_of is not None and len(die_of) != self.router.num_shards:
             raise ValueError("die_of must assign every shard")
         self.die_of = None if die_of is None else np.asarray(die_of,
                                                              dtype=np.int64)
@@ -183,23 +278,34 @@ class ServingEngine:
                       registry: BackendRegistry = DEFAULT_REGISTRY,
                       backend_kwargs: dict | None = None,
                       **engine_kwargs) -> "ServingEngine":
-        """Build an engine with per-shard backends constructed by name.
+        """Build an engine with backends constructed by name.
 
-        ``backend`` is either one name replicated ``num_shards`` times or an
-        explicit per-shard list (heterogeneous shards are legal: e.g. hot
-        shards on ``u200``, cold shards on ``cpu-32t``).
+        Sharded topology: ``backend`` is either one name replicated
+        ``num_shards`` times or an explicit per-shard list (heterogeneous
+        shards are legal: e.g. hot shards on ``u200``, cold shards on
+        ``cpu-32t``).  Pool topology (``topology="pool"``): replicas are
+        identical and stateless, so one timing backend is built and
+        ``num_shards`` becomes the replica count behind the shared queue.
         """
         if num_shards is not None and num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        kwargs = backend_kwargs or {}
+        if engine_kwargs.get("topology") == "pool":
+            if not isinstance(backend, str):
+                raise ValueError("pool topology takes one backend name "
+                                 "(replicas are identical)")
+            engine_kwargs.setdefault("pool_servers", num_shards or 1)
+            backends = [registry.create(backend, model, graph, **kwargs)]
+            return cls(backends, graph.num_nodes, **engine_kwargs)
         if isinstance(backend, str):
-            names = [backend] * (num_shards or 1)
+            backends = registry.create_many(backend, num_shards or 1,
+                                            model, graph, **kwargs)
         else:
             names = list(backend)
             if num_shards is not None and len(names) != num_shards:
                 raise ValueError("backend list length must equal num_shards")
-        kwargs = backend_kwargs or {}
-        backends = [registry.create(n, model, graph, **kwargs)
-                    for n in names]
+            backends = [registry.create(n, model, graph, **kwargs)
+                        for n in names]
         return cls(backends, graph.num_nodes, **engine_kwargs)
 
     # ------------------------------------------------------------------ #
@@ -212,7 +318,7 @@ class ServingEngine:
             end: int | None = None, speedup: float = 1.0,
             num_streams: int = 1,
             queue_capacity: int | None = None) -> ServingReport:
-        """Replay the multi-stream arrival process through the shards.
+        """Replay the multi-stream arrival process through the topology.
 
         Backends are stateful (engine protocol: functional vertex state may
         advance per batch), so a second ``run`` on the same engine continues
@@ -224,6 +330,17 @@ class ServingEngine:
                                         num_streams=num_streams, start=start,
                                         end=end, speedup=speedup)
         jobs = self.batcher.coalesce(arrivals)
+        if self.topology == "pool":
+            return self._run_pool(arrivals, jobs, window_s, speedup,
+                                  num_streams, queue_capacity)
+        return self._run_sharded(arrivals, jobs, window_s, speedup,
+                                 num_streams, queue_capacity)
+
+    # ------------------------------------------------------------------ #
+    def _run_sharded(self, arrivals: list[StreamArrival],
+                     jobs: list[CoalescedJob], window_s: float,
+                     speedup: float, num_streams: int,
+                     queue_capacity: int | None) -> ServingReport:
         mailbox = CrossShardMailbox(self.num_shards)
 
         # Split every released job across shards.  The cross-die mail count
@@ -300,6 +417,7 @@ class ServingEngine:
         finite = finish_of_job[np.isfinite(finish_of_job)]
         makespan = float(finite.max() - arrivals[0].t) if len(finite) else 0.0
         ingested = sum(len(a) for a in arrivals)
+        placement = self.router.placement
         return ServingReport(
             num_shards=self.num_shards, num_streams=num_streams,
             speedup=speedup, window_s=window_s,
@@ -312,4 +430,75 @@ class ServingEngine:
             processed_edges=int(shard_traffic.sum()),
             cross_shard_edges=mailbox.total_edges,
             cross_die_mail_edges=cross_die_mail,
-            shard_stats=stats)
+            shard_stats=stats,
+            topology="sharded",
+            placement=placement.policy,
+            replicated_vertices=placement.replicated_vertices)
+
+    # ------------------------------------------------------------------ #
+    def _run_pool(self, arrivals: list[StreamArrival],
+                  jobs: list[CoalescedJob], window_s: float,
+                  speedup: float, num_streams: int,
+                  queue_capacity: int | None) -> ServingReport:
+        """K stateless replicas behind one shared FIFO queue.
+
+        Jobs are never split: any free replica serves the whole job, so no
+        mailbox traffic exists and each edge is processed exactly once
+        (``replication_factor == 1``).  Service times come from the single
+        timing backend processing the stream in admission order — the
+        shared-state-store semantics replicas would see in deployment.
+        """
+        backend = self.backends[0]
+
+        def service(job: CoalescedJob) -> float:
+            return backend.process_batch(job.batch)
+
+        res = simulate_queue([(job.t_release, job) for job in jobs], service,
+                             num_servers=self.pool_servers,
+                             queue_capacity=queue_capacity)
+
+        responses: list[float] = []
+        edges_served = 0
+        for sj in res.served:
+            job = jobs[sj.index]
+            edges_served += len(job.batch)
+            for a in job.sources:
+                responses.append(sj.t_finish - a.t)
+        dropped_windows = sum(len(jobs[di].sources)
+                              for di in res.dropped_indices)
+
+        stats = (ShardStats(
+            shard=0,
+            backend=getattr(backend, "name", type(backend).__name__),
+            jobs=res.jobs, edges=edges_served, local_edges=edges_served,
+            mail_in_edges=0, busy_s=res.busy_s,
+            utilization=res.utilization, offered_load=res.offered_load,
+            mean_wait_s=res.mean_wait_s,
+            mean_response_s=res.mean_response_s,
+            p95_response_s=res.p95_response_s,
+            p99_response_s=res.p99_response_s,
+            max_queue_depth=res.max_queue_depth,
+            dropped_jobs=res.dropped,
+            servers=self.pool_servers),)
+
+        resp = np.asarray(responses)
+        # Same convention as the sharded path: first *stream* arrival (not
+        # first job release) to last service completion.
+        makespan = float(max(sj.t_finish for sj in res.served)
+                         - arrivals[0].t) if res.served else 0.0
+        return ServingReport(
+            num_shards=1, num_streams=num_streams,
+            speedup=speedup, window_s=window_s,
+            windows=len(responses), dropped_windows=dropped_windows,
+            mean_response_s=float(resp.mean()) if len(resp) else 0.0,
+            p95_response_s=float(np.percentile(resp, 95)) if len(resp) else 0.0,
+            p99_response_s=float(np.percentile(resp, 99)) if len(resp) else 0.0,
+            makespan_s=makespan,
+            ingested_edges=sum(len(a) for a in arrivals),
+            processed_edges=edges_served,
+            cross_shard_edges=0,
+            cross_die_mail_edges=0,
+            shard_stats=stats,
+            topology="pool",
+            placement="none",
+            replicated_vertices=0)

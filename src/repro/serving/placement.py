@@ -1,0 +1,403 @@
+"""Placement policies: who owns (and who mirrors) each vertex.
+
+PR 1's :class:`~repro.serving.router.ShardRouter` hard-coded one topology —
+a static multiplicative-hash partition of the vertex space.  That spreads
+*vertex counts* evenly but says nothing about *load*: a handful of Zipf-hot
+vertices can saturate one shard while its neighbors idle, and the paper's
+one-stream-one-device evaluation never sees it.  This module turns the
+partition into a policy space.
+
+Vocabulary
+----------
+:class:`VertexHeat`
+    The workload signal: per-vertex incident-edge counts over a stream
+    range, split into source-side counts (the local work a vertex drags to
+    its owner) and destination-side counts (the fan-in that generates
+    mailbox forwards).
+:class:`Placement`
+    The decision: a primary owner per vertex plus optional replica shards.
+    The router consumes this; every holder of a vertex receives every edge
+    incident to it, so replica tables are exactly as fresh as owner tables
+    (the same mailbox guarantee PR 1 gave owners).
+:class:`PlacementPolicy`
+    The protocol: ``place(heat, num_shards, profile=None) -> Placement``.
+    ``profile`` is the measured per-shard feedback (a sequence with
+    ``.utilization`` / ``.offered_load``, i.e. ``ShardStats``) for policies
+    that react to a profiling run.
+
+Policies
+--------
+:class:`StaticHashPlacement`
+    PR 1's behavior, extracted: Fibonacci-hash the vertex id.  The baseline
+    every other policy starts from.
+:class:`LoadAwareRebalance`
+    Profile-guided migration: shards whose measured utilization exceeds a
+    threshold donate their hottest vertices to the coolest shards until the
+    modeled utilization falls below the threshold (or no move helps).
+:class:`ReplicatedReadMostly`
+    Replicates the highest-fanout read-mostly vertices (destination-heavy
+    in the interaction stream) onto extra shards.  Replica maintenance is
+    priced honestly: each incident edge is delivered to every holder, so
+    ``ServingReport.replication_factor`` counts one copy per replica.  The
+    payoff is read locality/freshness — replica rows are exact, closing the
+    stale-mirror gap for the replicated (hot) vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "VertexHeat", "Placement", "PlacementPolicy",
+    "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
+    "PLACEMENT_POLICIES", "make_policy", "hash_assignment",
+]
+
+# 64-bit golden-ratio multiplier (Fibonacci hashing): cheap, deterministic,
+# and spreads consecutive ids across shards.  (Moved here from router.py —
+# the hash *is* the static placement policy.)
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def hash_assignment(num_nodes: int, num_shards: int) -> np.ndarray:
+    """PR 1's static partition: multiplicative hash of the vertex id."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    ids = np.arange(num_nodes, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        hashed = (ids * _HASH_MULT) >> np.uint64(32)
+    return (hashed % np.uint64(num_shards)).astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VertexHeat:
+    """Per-vertex workload counts over a stream range.
+
+    ``src_count[v]`` edges leave ``v`` (local work on ``v``'s owner);
+    ``dst_count[v]`` edges enter ``v`` (fan-in, the mailbox-forward driver).
+    """
+
+    src_count: np.ndarray
+    dst_count: np.ndarray
+
+    def __post_init__(self):
+        if self.src_count.shape != self.dst_count.shape:
+            raise ValueError("src_count/dst_count shape mismatch")
+
+    @classmethod
+    def from_graph(cls, graph, start: int = 0,
+                   end: int | None = None) -> "VertexHeat":
+        """Measure heat over edges ``[start, end)`` of ``graph``."""
+        end = graph.num_edges if end is None else min(end, graph.num_edges)
+        n = graph.num_nodes
+        return cls(
+            src_count=np.bincount(graph.src[start:end], minlength=n)
+            .astype(np.int64),
+            dst_count=np.bincount(graph.dst[start:end], minlength=n)
+            .astype(np.int64))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.src_count)
+
+    @property
+    def degree(self) -> np.ndarray:
+        """Total incident edges per vertex."""
+        return self.src_count + self.dst_count
+
+    @property
+    def read_ratio(self) -> np.ndarray:
+        """Fraction of incident edges entering the vertex (fan-in share).
+
+        Destination-heavy vertices are the "read-mostly" population: their
+        state is consulted by many interactions they do not initiate.
+        Isolated vertices report 0.
+        """
+        deg = self.degree
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = np.where(deg > 0, self.dst_count / np.maximum(deg, 1),
+                             0.0)
+        return ratio
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Placement:
+    """A vertex -> shard mapping with optional replication.
+
+    ``assignment[v]`` is the primary owner; ``replicas`` maps a vertex to
+    the *extra* shards holding a full copy of its state.  Every holder
+    (primary + replicas) receives every edge incident to the vertex through
+    the mailbox, so replica tables are exact, not stale mirrors.
+    """
+
+    assignment: np.ndarray
+    num_shards: int
+    replicas: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    policy: str = "hash"
+    moved_vertices: tuple[int, ...] = ()    # migrations applied (rebalance)
+
+    def __post_init__(self):
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if len(self.assignment) and (self.assignment.min() < 0 or
+                                     self.assignment.max() >= self.num_shards):
+            raise ValueError("assignment references a shard out of range")
+        for v, extra in self.replicas.items():
+            if not 0 <= v < len(self.assignment):
+                raise ValueError(f"replica vertex {v} out of range")
+            owner = int(self.assignment[v])
+            if owner in extra or len(set(extra)) != len(extra):
+                raise ValueError(
+                    f"replica set of vertex {v} must be distinct non-owner "
+                    f"shards (owner {owner}, got {extra})")
+            if any(s < 0 or s >= self.num_shards for s in extra):
+                raise ValueError(f"replica shard out of range for vertex {v}")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def replicated_vertices(self) -> int:
+        """Vertices held by more than one shard."""
+        return sum(1 for extra in self.replicas.values() if extra)
+
+    @property
+    def replica_copies(self) -> int:
+        """Extra copies across all vertices (a vertex on r shards adds r-1)."""
+        return sum(len(extra) for extra in self.replicas.values())
+
+    def holders(self, vertex: int) -> tuple[int, ...]:
+        """All shards holding ``vertex`` (primary first, replicas sorted)."""
+        return (int(self.assignment[vertex]),
+                *self.replicas.get(int(vertex), ()))
+
+    def holder_matrix(self) -> np.ndarray:
+        """Boolean ``(num_shards, num_nodes)`` membership matrix."""
+        member = np.zeros((self.num_shards, self.num_nodes), dtype=bool)
+        member[self.assignment, np.arange(self.num_nodes)] = True
+        for v, extra in self.replicas.items():
+            member[list(extra), v] = True
+        return member
+
+    def mail_matrix(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Predicted mailbox deliveries ``[from_shard, to_shard]``.
+
+        Mirrors the router exactly: edge ``(u, v)`` is processed locally on
+        ``assignment[u]`` and delivered to every *other* holder of ``u`` or
+        ``v``.  Used to re-price die crossings after a placement change
+        (see :func:`repro.hw.plan_shard_dies_traffic_aware`).
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        member = self.holder_matrix()
+        s_src = self.assignment[src]
+        m = np.zeros((self.num_shards, self.num_shards), dtype=np.int64)
+        for shard in range(self.num_shards):
+            to_here = (member[shard, src] | member[shard, dst]) \
+                & (s_src != shard)
+            if to_here.any():
+                m[:, shard] += np.bincount(s_src[to_here],
+                                           minlength=self.num_shards)
+        return m
+
+
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Decides the vertex -> shard placement from workload heat.
+
+    ``profile`` is optional measured feedback: a per-shard sequence exposing
+    ``utilization`` and ``offered_load`` (``ShardStats`` satisfies it).
+    Policies that do not use feedback must accept and ignore it.
+    """
+
+    name: str
+
+    def place(self, heat: VertexHeat, num_shards: int,
+              profile: Sequence | None = None) -> Placement:
+        ...
+
+
+class StaticHashPlacement:
+    """PR 1's static multiplicative-hash partition (the policy baseline)."""
+
+    name = "hash"
+
+    def place(self, heat: VertexHeat, num_shards: int,
+              profile: Sequence | None = None) -> Placement:
+        return Placement(assignment=hash_assignment(heat.num_nodes,
+                                                    num_shards),
+                         num_shards=num_shards, policy=self.name)
+
+
+class LoadAwareRebalance:
+    """Migrate the hottest vertices off shards running above a threshold.
+
+    Greedy profile-guided migration: while some shard's modeled utilization
+    exceeds ``util_threshold``, move the hottest not-yet-moved vertex from
+    the hottest shard to the coolest one.  The model prices a vertex by its
+    heat share: moving vertex ``v`` lowers the donor by
+    ``load(v) * donor_rate`` and raises the recipient by
+    ``load(v) * recipient_rate``, where each shard's rate (utilization per
+    unit of heat) comes from the profile — so heterogeneous shard speeds
+    are respected.  A move that would leave the recipient no better than
+    the donor started is refused, which makes the loop terminate.
+
+    ``profile`` utilization saturates at 1.0 under overload; for saturated
+    shards the (uncapped) ``offered_load`` is used instead so the model
+    still sees how far past capacity a donor is.
+
+    Without a profile the policy degrades to the hash baseline — there is
+    nothing to react to.
+    """
+
+    name = "rebalance"
+
+    def __init__(self, util_threshold: float = 0.75,
+                 max_migrations: int = 64, mail_weight: float = 0.5):
+        if not 0.0 < util_threshold:
+            raise ValueError("util_threshold must be positive")
+        if max_migrations < 0:
+            raise ValueError("max_migrations must be non-negative")
+        self.util_threshold = float(util_threshold)
+        self.max_migrations = int(max_migrations)
+        self.mail_weight = float(mail_weight)
+
+    def place(self, heat: VertexHeat, num_shards: int,
+              profile: Sequence | None = None) -> Placement:
+        base = hash_assignment(heat.num_nodes, num_shards)
+        if profile is None:
+            return Placement(assignment=base, num_shards=num_shards,
+                             policy=self.name)
+        if len(profile) != num_shards:
+            raise ValueError("profile must cover every shard")
+
+        util = np.array([float(s.utilization) for s in profile])
+        offered = np.array([float(getattr(s, "offered_load", 0.0))
+                            for s in profile])
+        # Saturated shards hide their true load behind util == 1; offered
+        # load is the uncapped estimate of the same quantity.
+        est = np.where(util >= 0.999, np.maximum(util, offered), util)
+
+        assignment = base.copy()
+        # A vertex costs its owner local work per source edge and mailbox
+        # work (on some shard) per destination edge.
+        load_v = heat.src_count + self.mail_weight * heat.dst_count
+        shard_load = np.bincount(assignment, weights=load_v,
+                                 minlength=num_shards)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rate = np.where(shard_load > 0, est / np.maximum(shard_load, 1e-12),
+                            0.0)
+        loaded = shard_load > 0
+        if loaded.any():
+            rate[~loaded] = rate[loaded].mean()
+
+        moved: list[int] = []
+        immovable: set[int] = set()
+        # Donors are the shards the *profile* measured above the threshold
+        # — a recipient that warms up during the greedy redistribution is
+        # not re-donated (that would cascade moves the measurement never
+        # justified).
+        donors_allowed = est > self.util_threshold
+        while len(moved) < self.max_migrations:
+            masked = np.where(donors_allowed, est, -np.inf)
+            donor = int(np.argmax(masked))
+            if masked[donor] <= self.util_threshold:
+                break
+            on_donor = (assignment == donor)
+            candidates = np.where(on_donor, load_v, -1.0)
+            for v in immovable:
+                if assignment[v] == donor:
+                    candidates[v] = -1.0
+            v = int(np.argmax(candidates))
+            if candidates[v] <= 0:
+                donors_allowed[donor] = False   # exhausted; try next donor
+                continue
+            recipient = int(np.argmin(est))
+            d_after = est[donor] - load_v[v] * rate[donor]
+            r_after = est[recipient] + load_v[v] * rate[recipient]
+            if max(d_after, r_after) >= est[donor]:
+                # The donor's hottest vertex is too big to move; try the
+                # next one before giving up on this donor.
+                immovable.add(v)
+                continue
+            assignment[v] = recipient
+            est[donor], est[recipient] = d_after, r_after
+            moved.append(v)
+            immovable.add(v)        # never ping-pong a migrated vertex
+        return Placement(assignment=assignment, num_shards=num_shards,
+                         policy=self.name, moved_vertices=tuple(moved))
+
+
+class ReplicatedReadMostly:
+    """Replicate the highest-fanin read-mostly vertices onto extra shards.
+
+    Selection: among vertices whose ``read_ratio`` (fan-in share of
+    incident edges) is at least ``min_read_ratio``, take the ``top_k`` by
+    destination count.  Each selected vertex gains ``copies - 1`` replica
+    shards (``copies=None`` replicates onto every shard); replica shards
+    are chosen round-robin after the owner so the maintenance traffic
+    spreads deterministically.
+
+    Cost/benefit contract (tested): every holder receives every incident
+    edge, so the report's ``replication_factor`` rises by one count per
+    replica per incident edge — and in exchange each replica's neighbor
+    rows for the vertex are *exact*, not stale mirrors.
+    """
+
+    name = "replicate"
+
+    def __init__(self, top_k: int = 8, min_read_ratio: float = 0.6,
+                 copies: int | None = None):
+        if top_k < 0:
+            raise ValueError("top_k must be non-negative")
+        if not 0.0 <= min_read_ratio <= 1.0:
+            raise ValueError("min_read_ratio must be in [0, 1]")
+        if copies is not None and copies < 2:
+            raise ValueError("copies must be at least 2 (owner + replica)")
+        self.top_k = int(top_k)
+        self.min_read_ratio = float(min_read_ratio)
+        self.copies = copies
+
+    def place(self, heat: VertexHeat, num_shards: int,
+              profile: Sequence | None = None) -> Placement:
+        assignment = hash_assignment(heat.num_nodes, num_shards)
+        replicas: dict[int, tuple[int, ...]] = {}
+        if num_shards > 1 and self.top_k > 0:
+            eligible = (heat.read_ratio >= self.min_read_ratio) \
+                & (heat.dst_count > 0)
+            # Stable hot-first order: by fan-in desc, vertex id asc.
+            order = np.lexsort((np.arange(heat.num_nodes),
+                                -heat.dst_count))
+            chosen = [int(v) for v in order if eligible[v]][:self.top_k]
+            n_extra = num_shards - 1 if self.copies is None \
+                else min(self.copies - 1, num_shards - 1)
+            for v in chosen:
+                owner = int(assignment[v])
+                extra = tuple((owner + 1 + i) % num_shards
+                              for i in range(n_extra))
+                replicas[v] = extra
+        return Placement(assignment=assignment, num_shards=num_shards,
+                         replicas=replicas, policy=self.name)
+
+
+# --------------------------------------------------------------------------- #
+PLACEMENT_POLICIES = {
+    "hash": StaticHashPlacement,
+    "rebalance": LoadAwareRebalance,
+    "replicate": ReplicatedReadMostly,
+}
+
+
+def make_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Construct a placement policy by CLI name."""
+    if name not in PLACEMENT_POLICIES:
+        raise KeyError(f"unknown placement policy {name!r}; "
+                       f"available: {', '.join(sorted(PLACEMENT_POLICIES))}")
+    return PLACEMENT_POLICIES[name](**kwargs)

@@ -51,6 +51,19 @@ class BackendRegistry:
                            f"available: {', '.join(self.available())}")
         return self._factories[name](model, graph, **kwargs)
 
+    def create_many(self, name: str, count: int, model, graph,
+                    **kwargs) -> list:
+        """``count`` fresh instances of one backend (a shard fleet).
+
+        Each instance gets its own runtime/state — this is the sharded
+        topology's constructor.  Pool topology needs only *one* instance
+        (replicas are stateless; see ``ServingEngine.from_registry``).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [self.create(name, model, graph, **kwargs)
+                for _ in range(count)]
+
 
 DEFAULT_REGISTRY = BackendRegistry()
 

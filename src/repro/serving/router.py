@@ -1,22 +1,28 @@
-"""Hash-partitioned vertex sharding with a cross-shard mailbox.
+"""Placement-driven vertex sharding with a cross-shard mailbox.
 
 Scaling vertex state beyond one device means splitting the Vertex Memory
 Table, Mailbox, and Neighbor Table across shards.  The :class:`ShardRouter`
-owns the partition function (a multiplicative hash of the vertex id, so
-consecutive user/item id ranges spread evenly) and splits each incoming
-edge batch into per-shard sub-batches:
+owns the *routing* of each incoming edge batch; the *partition* itself is a
+:class:`~repro.serving.placement.Placement` produced by a placement policy
+(see :mod:`repro.serving.placement`).  The default is PR 1's static
+multiplicative hash, so ``ShardRouter(num_shards, num_nodes)`` behaves
+exactly as before.
 
-* an edge is *local* to the shard owning its source vertex;
-* an edge whose destination lives on a different shard is additionally
-  *forwarded* to that shard through the :class:`CrossShardMailbox`, so the
-  destination's owner also sees the interaction.
+Routing rules (per edge ``(u, v)``):
 
-Consequently a shard processes exactly the edges incident to the vertices
-it owns, in stream order.  That gives a hard consistency guarantee for the
-FIFO neighbor state: a shard's neighbor-table rows for its *owned* vertices
-are identical to the unsharded table's rows (asserted by the serving
-tests).  Memory rows of non-owned endpoints are stale mirrors — the exact
-cross-shard embedding refresh is an open item in ROADMAP.md.
+* the edge is *local* to the shard owning its source vertex,
+  ``assignment[u]``, which processes it in stream order;
+* every **other holder** of either endpoint — the destination's owner, plus
+  any replica shards of ``u`` or ``v`` — additionally receives the edge
+  through the :class:`CrossShardMailbox`.
+
+Consequently every holder of a vertex sees exactly the edges incident to
+it, in stream order.  That gives a hard consistency guarantee for the FIFO
+neighbor state: a shard's neighbor-table rows for the vertices it *holds*
+(owned or replicated) are identical to the unsharded table's rows (asserted
+by the serving and placement tests).  Memory rows of non-held endpoints
+remain stale mirrors — replication shrinks that population to exactly the
+vertices a policy chose not to replicate.
 """
 
 from __future__ import annotations
@@ -26,12 +32,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.temporal_graph import EdgeBatch
+from .placement import Placement, hash_assignment
 
 __all__ = ["ShardBatch", "CrossShardMailbox", "ShardRouter"]
-
-# 64-bit golden-ratio multiplier (Fibonacci hashing): cheap, deterministic,
-# and spreads consecutive ids across shards.
-_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
 
 
 @dataclass(frozen=True)
@@ -49,7 +52,7 @@ class CrossShardMailbox:
     """Accounting for edges forwarded between shards.
 
     The mailbox is the consistency mechanism: instead of shards reaching
-    into each other's state, the owner of a remote endpoint receives the
+    into each other's state, every holder of a remote endpoint receives the
     edge and applies it to its own tables.  This class tracks the traffic
     matrix so the engine can price die crossings and report the sharding
     overhead.
@@ -70,36 +73,58 @@ class CrossShardMailbox:
 
 
 class ShardRouter:
-    """Hash-partitions vertices over ``num_shards`` and splits batches."""
+    """Routes batches across shards according to a :class:`Placement`.
 
-    def __init__(self, num_shards: int, num_nodes: int):
+    ``ShardRouter(num_shards, num_nodes)`` keeps PR 1's behavior (static
+    hash, no replication); pass ``placement=`` or use
+    :meth:`from_placement` for policy-driven partitions.
+    """
+
+    def __init__(self, num_shards: int, num_nodes: int,
+                 placement: Placement | None = None):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if placement is None:
+            placement = Placement(
+                assignment=hash_assignment(num_nodes, num_shards),
+                num_shards=int(num_shards))
+        if placement.num_shards != num_shards:
+            raise ValueError("placement shard count mismatch")
+        if placement.num_nodes != num_nodes:
+            raise ValueError("placement covers a different vertex count")
         self.num_shards = int(num_shards)
         self.num_nodes = int(num_nodes)
-        ids = np.arange(num_nodes, dtype=np.uint64)
-        with np.errstate(over="ignore"):
-            hashed = (ids * _HASH_MULT) >> np.uint64(32)
-        self.assignment = (hashed % np.uint64(num_shards)).astype(np.int64)
+        self.placement = placement
+        self.assignment = placement.assignment
+        # (num_shards, num_nodes) holder membership; row s is True where
+        # shard s keeps state for the vertex (owned or replicated).
+        self._member = placement.holder_matrix()
+
+    @classmethod
+    def from_placement(cls, placement: Placement) -> "ShardRouter":
+        return cls(placement.num_shards, placement.num_nodes,
+                   placement=placement)
 
     def shard_of(self, vertices: np.ndarray) -> np.ndarray:
+        """Primary owner of each vertex (replicas are extra holders)."""
         return self.assignment[np.asarray(vertices, dtype=np.int64)]
 
     def split(self, batch: EdgeBatch,
               mailbox: CrossShardMailbox | None = None) -> list[ShardBatch]:
         """Partition ``batch`` into per-shard sub-batches.
 
-        Each returned sub-batch preserves stream order.  An intra-shard edge
-        appears on exactly one shard; a cross-shard edge appears on both
-        endpoint owners (the destination side via the mailbox).  Shards with
-        no incident edges are omitted.
+        Each returned sub-batch preserves stream order.  An edge appears on
+        its source's owner (local) and on every other holder of either
+        endpoint (mail) — with no replication that is exactly the two
+        owners.  Shards with no incident edges are omitted.
         """
         s_src = self.assignment[batch.src]
-        s_dst = self.assignment[batch.dst]
         out: list[ShardBatch] = []
         for shard in range(self.num_shards):
             local = s_src == shard
-            mail = (s_dst == shard) & ~local
+            held = self._member[shard, batch.src] \
+                | self._member[shard, batch.dst]
+            mail = held & ~local
             sel = local | mail
             if not sel.any():
                 continue

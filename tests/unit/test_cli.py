@@ -112,6 +112,70 @@ class TestServeSim:
         assert code == 0
         assert "die crossings" in text
 
+    def test_serve_sim_rebalance_profiles_then_migrates(self):
+        # A near-zero threshold guarantees the profiling pass flags every
+        # loaded shard, so migrations must happen.
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "4",
+                          "--streams", "4", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--placement", "rebalance",
+                          "--util-threshold", "1e-9"])
+        assert code == 0
+        assert "rebalance: profiled max util" in text
+        assert "[placement rebalance]" in text
+
+    def test_serve_sim_replicate_reports_copies(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "4",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--placement", "replicate",
+                          "--replicate-top-k", "4"])
+        assert code == 0
+        assert "replicate: 4 read-mostly" in text
+        assert "4 replicated vertices" in text
+
+    def test_serve_sim_pool_topology(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "4",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--topology", "pool"])
+        assert code == 0
+        assert "pool of 4 replica(s)" in text
+        assert "x1.00 replication" in text
+
+    def test_serve_sim_golden_json_determinism(self, tmp_path):
+        """Two runs with identical arguments produce byte-identical JSON —
+        the guard against hidden RNG or dict-ordering nondeterminism."""
+        argv = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+                "--shards", "4", "--streams", "2", "--backend", "cpu-32t",
+                "--window-s", "3600", "--memory-dim", "8", "--seed", "0"]
+        paths = [str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        for path in paths:
+            code, _ = run(argv + ["--json", path])
+            assert code == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
+        assert b"replication_factor" in a and b"topology" in a
+
+    def test_serve_sim_json_covers_every_topology(self, tmp_path):
+        for i, extra in enumerate((["--topology", "pool"],
+                                   ["--placement", "replicate"])):
+            path = str(tmp_path / f"r{i}.json")
+            code, _ = run(["serve-sim", "--dataset", "wikipedia",
+                           "--edges", "400", "--shards", "2",
+                           "--streams", "2", "--backend", "cpu-32t",
+                           "--window-s", "3600", "--memory-dim", "8",
+                           "--json", path] + extra)
+            assert code == 0
+            import json
+            with open(path) as f:
+                report = json.load(f)
+            assert report["stable"] in (True, False)
+            assert report["replication_factor"] >= 1.0
+
 
 class TestDseTrace:
     def test_dse_prints_frontier(self):

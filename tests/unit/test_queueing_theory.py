@@ -1,0 +1,162 @@
+"""Statistical validation of ``simulate_queue`` against queueing theory.
+
+The serving benchmarks size fleets from the simulator's wait/response
+numbers, so the simulator itself must be trusted against something
+*external* to the code: the closed-form M/M/1 and M/M/c (Erlang-C) results.
+With seeded Poisson arrivals and exponential service the event-driven
+simulation must land on the analytic mean waits within sampling tolerance —
+a test that catches wrong utilization denominators, off-by-one admissions,
+or non-FIFO dispatch that shape-style unit tests cannot see.
+
+The large-sample distributional checks are marked ``tier2`` (run with
+``pytest -m tier2``); the cheap order/boundary invariants run in tier-1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import simulate_queue
+
+# --------------------------------------------------------------------------- #
+# Closed forms
+
+
+def mm1_mean_wait(lam: float, mu: float) -> float:
+    """M/M/1 mean time in queue (excluding service): Wq = rho / (mu - lam)."""
+    rho = lam / mu
+    assert rho < 1
+    return rho / (mu - lam)
+
+
+def erlang_c(c: int, a: float) -> float:
+    """P(wait > 0) for M/M/c offered load ``a = lam / mu`` erlangs."""
+    rho = a / c
+    assert rho < 1
+    inv_pw = 0.0
+    term = 1.0                      # a^k / k!
+    for k in range(c):
+        inv_pw += term
+        term *= a / (k + 1)
+    top = term / (1.0 - rho)        # a^c / c! / (1 - rho)
+    return top / (inv_pw + top)
+
+
+def mmc_mean_wait(lam: float, mu: float, c: int) -> float:
+    """M/M/c mean time in queue: Wq = ErlangC / (c*mu - lam)."""
+    return erlang_c(c, lam / mu) / (c * mu - lam)
+
+
+def poisson_arrivals(rng, lam: float, n: int):
+    t = np.cumsum(rng.exponential(1.0 / lam, size=n))
+    return [(float(ti), i) for i, ti in enumerate(t)]
+
+
+# --------------------------------------------------------------------------- #
+# Tier-2: distributional agreement with the closed forms
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("rho", [0.5, 0.7, 0.85])
+def test_mm1_mean_wait_matches_closed_form(rho):
+    """Seeded M/M/1 replicates Wq = rho/(mu - lam) within tolerance."""
+    mu, n = 1.0, 60_000
+    lam = rho * mu
+    rng = np.random.default_rng(12345)
+    arrivals = poisson_arrivals(rng, lam, n)
+    service = rng.exponential(1.0 / mu, size=n)
+    res = simulate_queue(arrivals, lambda i: float(service[i]))
+    want = mm1_mean_wait(lam, mu)
+    # Queue waits are autocorrelated, so the sample mean converges slowly;
+    # 60k jobs at these loads sit comfortably inside 10 %.
+    assert res.mean_wait_s == pytest.approx(want, rel=0.10)
+    assert res.offered_load == pytest.approx(rho, rel=0.05)
+    assert res.stable
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("c,rho", [(2, 0.7), (4, 0.8)])
+def test_mmc_mean_wait_matches_erlang_c(c, rho):
+    """Seeded M/M/c replicates the Erlang-C mean wait within tolerance."""
+    mu, n = 1.0, 60_000
+    lam = rho * c * mu
+    rng = np.random.default_rng(98765)
+    arrivals = poisson_arrivals(rng, lam, n)
+    service = rng.exponential(1.0 / mu, size=n)
+    res = simulate_queue(arrivals, lambda i: float(service[i]),
+                         num_servers=c)
+    want = mmc_mean_wait(lam, mu, c)
+    assert res.mean_wait_s == pytest.approx(want, rel=0.12)
+    assert res.offered_load == pytest.approx(rho, rel=0.05)
+    # Mean response = mean wait + mean service.
+    assert res.mean_response_s == pytest.approx(res.mean_wait_s + 1.0 / mu,
+                                                rel=0.05)
+
+
+@pytest.mark.tier2
+def test_pooling_beats_partitioning_in_wait():
+    """The M/M/c shared queue waits less than c independent M/M/1 queues at
+    the same per-server load — the queueing-theory fact behind the serving
+    engine's pool topology."""
+    c, rho, mu = 4, 0.8, 1.0
+    assert mmc_mean_wait(rho * c * mu, mu, c) < mm1_mean_wait(rho * mu, mu)
+    # And the simulator reproduces the ordering, not just the formulas.
+    n = 40_000
+    rng = np.random.default_rng(7)
+    service = rng.exponential(1.0 / mu, size=n)
+    pooled = simulate_queue(poisson_arrivals(rng, rho * c * mu, n),
+                            lambda i: float(service[i]), num_servers=c)
+    single = simulate_queue(poisson_arrivals(rng, rho * mu, n),
+                            lambda i: float(service[i]))
+    assert pooled.mean_wait_s < single.mean_wait_s
+
+
+# --------------------------------------------------------------------------- #
+# Tier-1: fast invariants on the same machinery
+
+
+def test_percentiles_are_ordered():
+    """p95 <= p99 on any served trace (and both bound the max response)."""
+    rng = np.random.default_rng(3)
+    for servers in (1, 3):
+        arrivals = poisson_arrivals(rng, 0.9 * servers, 2_000)
+        service = rng.exponential(1.0, size=2_000)
+        res = simulate_queue(arrivals, lambda i: float(service[i]),
+                             num_servers=servers)
+        responses = res.responses()
+        assert res.p95_response_s <= res.p99_response_s <= responses.max()
+        assert res.mean_wait_s <= res.mean_response_s
+
+
+@pytest.mark.parametrize("num_servers", [1, 3])
+def test_stability_flag_on_analytic_boundary(num_servers):
+    """``stable`` <-> offered load < 1, checked just across the boundary.
+
+    Deterministic arrivals one service-time apart per server put the system
+    exactly at capacity; shrinking or stretching the spacing by 2 % must
+    flip the flag.
+    """
+    service_s, n = 1.0, 500
+    for factor, expect_stable in ((1.02, True), (0.98, False)):
+        spacing = service_s * factor / num_servers
+        arrivals = [(i * spacing, None) for i in range(n)]
+        res = simulate_queue(arrivals, lambda _: service_s,
+                             num_servers=num_servers)
+        assert res.stable is expect_stable
+        assert (res.offered_load < 1.0) is expect_stable
+
+    # Exactly at capacity the load is 1.0 by construction and the system is
+    # *not* called stable (a deployment with zero headroom drifts).
+    arrivals = [(i * service_s / num_servers, None) for i in range(n)]
+    res = simulate_queue(arrivals, lambda _: service_s,
+                         num_servers=num_servers)
+    assert res.offered_load == pytest.approx(1.0)
+    assert not res.stable
+
+
+def test_deterministic_queue_wait_formula():
+    """D/D/1 overload: wait of job i is exactly i*(service - spacing)."""
+    service, spacing, n = 1.0, 0.5, 50
+    arrivals = [(i * spacing, None) for i in range(n)]
+    res = simulate_queue(arrivals, lambda _: service)
+    for i, job in enumerate(res.served):
+        assert job.wait_s == pytest.approx(i * (service - spacing))

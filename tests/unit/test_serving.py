@@ -144,7 +144,10 @@ class TestDynamicBatcher:
         assert len(jobs) < len(arrivals)
         assert any(len(j.sources) > 1 for j in jobs)
 
-    def test_size_trigger_flushes_at_arrival(self):
+    def test_size_trigger_respects_cap(self):
+        """Regression: the buffer used to admit an arrival *before* checking
+        the size trigger, so released jobs routinely exceeded ``max_edges``
+        — overflowing the device capacity the cap models."""
         g, _ = setup()
         arrivals = window_arrivals(g)
         jobs = DynamicBatcher(max_edges=40,
@@ -152,9 +155,12 @@ class TestDynamicBatcher:
         assert len(jobs) < len(arrivals)
         assert sum(j.n_edges for j in jobs) == \
             sum(len(a.batch) for a in arrivals)
-        for j in jobs[:-1]:
-            assert j.n_edges >= 40
-            assert j.t_release == j.sources[-1].t
+        for j in jobs:
+            # The cap binds unless a single oversized arrival had nowhere
+            # else to go.
+            assert j.n_edges <= 40 or len(j.sources) == 1
+            # A flush is an event at some arrival instant.
+            assert j.t_release >= j.sources[-1].t
 
     def test_deadline_trigger_flushes_at_deadline(self):
         b = DynamicBatcher(max_delay_s=5.0)
@@ -189,6 +195,57 @@ def _tiny_batch(t):
     b = g.slice(0, 2)
     return type(b)(src=b.src, dst=b.dst, t=np.full(2, t), eid=b.eid,
                    edge_feat=b.edge_feat)
+
+
+class TestBatcherInvariants:
+    """The three contracts every coalescing configuration must keep."""
+
+    CONFIGS = [
+        dict(),                                       # passthrough
+        dict(max_edges=16),                           # size-only
+        dict(max_edges=16, max_delay_s=2000.0),       # size + deadline
+        dict(max_delay_s=500.0),                      # deadline-only
+        dict(max_edges=3),                            # cap < window size
+        dict(max_edges=10_000),                       # cap never reached
+    ]
+
+    def _arrivals(self):
+        g, _ = setup()
+        return window_arrivals(g, window_s=3600.0, num_streams=2,
+                               speedup=4.0)
+
+    @pytest.mark.parametrize("cfg", CONFIGS)
+    def test_every_edge_exactly_once(self, cfg):
+        """Coalescing must neither drop nor duplicate stream edges."""
+        arrivals = self._arrivals()
+        jobs = DynamicBatcher(**cfg).coalesce(arrivals)
+        got = np.sort(np.concatenate([j.batch.eid for j in jobs]))
+        want = np.sort(np.concatenate([a.batch.eid for a in arrivals]))
+        assert np.array_equal(got, want)
+        assert sum(len(j.sources) for j in jobs) == len(arrivals)
+
+    @pytest.mark.parametrize("cfg", [c for c in CONFIGS
+                                     if c.get("max_edges")])
+    def test_jobs_never_exceed_max_edges(self, cfg):
+        """A released job fits the device unless one arrival alone cannot."""
+        jobs = DynamicBatcher(**cfg).coalesce(self._arrivals())
+        for j in jobs:
+            assert j.n_edges <= cfg["max_edges"] or len(j.sources) == 1
+
+    @pytest.mark.parametrize("cfg", [c for c in CONFIGS
+                                     if c.get("max_delay_s") is not None])
+    def test_batching_delay_never_exceeds_deadline(self, cfg):
+        """The oldest buffered arrival never waits past the deadline."""
+        jobs = DynamicBatcher(**cfg).coalesce(self._arrivals())
+        for j in jobs:
+            assert j.batching_delay_s <= cfg["max_delay_s"] + 1e-9
+            # And each constituent waited at most as long as the oldest.
+            for a in j.sources:
+                assert j.t_release - a.t <= cfg["max_delay_s"] + 1e-9
+
+    def test_passthrough_has_zero_delay(self):
+        jobs = DynamicBatcher().coalesce(self._arrivals())
+        assert all(j.batching_delay_s == 0.0 for j in jobs)
 
 
 # --------------------------------------------------------------------------- #
