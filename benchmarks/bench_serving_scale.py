@@ -34,8 +34,8 @@ from repro.pipeline import (LinearCostBackend, ModeledGPPBackend,
                             replay_under_load)
 from repro.profiling import count_ops
 from repro.reporting import render_table, save_result
-from repro.serving import (DynamicBatcher, ServingEngine, StaticHashPlacement,
-                           VertexHeat, make_policy)
+from repro.serving import (MEMSYNC_POLICIES, DynamicBatcher, ServingEngine,
+                           StaticHashPlacement, VertexHeat, make_policy)
 
 pytestmark = pytest.mark.smoke
 
@@ -260,3 +260,70 @@ def test_placement_topology_matrix(capsys, smoke):
     with capsys.disabled():
         print(table)
     save_result("placement_topology", table)
+
+
+# --------------------------------------------------------------------------- #
+def test_memsync_staleness_overhead(capsys, smoke):
+    """Sweep the cross-shard memory sync policies (ISSUE 3).
+
+    ``none`` tolerates stale vertex-memory reads for free; ``invalidate``
+    buys exact reads with read-blocking pull round-trips; ``push`` buys
+    them with eager row forwarding alongside the edge mail.  The table
+    shows the trade an operator prices: ``sync_rows`` overhead (and its
+    latency once cross-die hops cost time) vs ``stale_reads`` /
+    ``max_version_lag`` tolerated.
+    """
+    if smoke:
+        graph = wikipedia_like(num_edges=800, num_users=100, num_items=20)
+        shards, streams = 4, 2
+    else:
+        graph = wikipedia_like(num_edges=4000, num_users=400, num_items=60)
+        shards, streams = 8, 4
+    # Alternate shards over two dies so pulled rows pay a round-trip and
+    # pushed rows a hop, exactly like cross-die edge mail.
+    die_of = [s % 2 for s in range(shards)]
+    rows, reps = [], {}
+    for policy in MEMSYNC_POLICIES:
+        engine = ServingEngine(
+            [LinearCostBackend(per_edge_s=1e-3) for _ in range(shards)],
+            graph.num_nodes, die_of=die_of, mail_hop_s=2e-4,
+            memsync=policy)
+        rep = engine.run(graph, window_s=3600.0, speedup=2.0,
+                         num_streams=streams)
+        reps[policy] = rep
+        rows.append({
+            "memsync": policy,
+            "sync_rows": rep.sync_edges,
+            "stale_reads": rep.stale_reads,
+            "max_lag": rep.max_version_lag,
+            "xshard_edges": rep.cross_shard_edges,
+            "busy_s": sum(s.busy_s for s in rep.shard_stats),
+            "p95_ms": rep.p95_response_s * 1e3,
+            "p99_ms": rep.p99_response_s * 1e3,
+            "stable": rep.stable,
+        })
+    table = render_table(
+        rows, precision=3,
+        title=f"Memory sync — staleness vs overhead ({shards} shards, "
+              f"{streams} streams, {'smoke' if smoke else 'full'})")
+
+    none, inval, push = (reps[p] for p in MEMSYNC_POLICIES)
+    # The baseline tolerates measurable staleness and moves no rows...
+    assert none.sync_edges == 0
+    assert none.stale_reads > 0 and none.max_version_lag > 0
+    # ...the sync policies tolerate none and pay for it in row traffic.
+    for rep in (inval, push):
+        assert rep.stale_reads == 0 and rep.max_version_lag == 0
+        assert rep.sync_edges > 0
+    assert push.sync_edges >= inval.sync_edges
+    # Sync traffic is priced: exactness costs latency, never saves it.
+    assert none.p99_response_s <= inval.p99_response_s
+    assert none.p99_response_s <= push.p99_response_s
+
+    table += (f"\nexactness bill: push moves {push.sync_edges} rows, "
+              f"invalidate {inval.sync_edges}; none tolerates "
+              f"{none.stale_reads} stale reads (max version lag "
+              f"{none.max_version_lag})")
+    with capsys.disabled():
+        print(table)
+    save_result("memsync_policies", table)

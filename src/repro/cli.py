@@ -14,9 +14,10 @@ Commands
 ``serve-sim``  multi-stream serving simulation: N shards (or a shared-queue
             pool of N replicas) x M streams through a named backend, with
             dynamic batching, placement policies
-            (``--placement hash|rebalance|replicate``), and per-shard
-            queueing statistics; ``--json`` writes a canonical
-            (byte-stable) report.
+            (``--placement hash|rebalance|replicate``), cross-shard
+            memory sync policies (``--memsync none|invalidate|push``),
+            and per-shard queueing statistics; ``--json`` writes a
+            canonical (byte-stable) report.
 
 Every command is a plain function taking parsed args, so tests invoke them
 without subprocesses.
@@ -114,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partitioned shards with dedicated queues, or a "
                         "pool of stateless replicas behind one shared "
                         "queue")
+    from .serving.memsync import MEMSYNC_POLICIES
+    v.add_argument("--memsync", default="none",
+                   choices=list(MEMSYNC_POLICIES),
+                   help="cross-shard vertex-memory sync policy (sharded "
+                        "topology): 'none' keeps stale mirrors (and "
+                        "measures the staleness), 'invalidate' pulls fresh "
+                        "rows on stale reads, 'push' forwards owner writes "
+                        "alongside the edge mail")
     v.add_argument("--util-threshold", type=float, default=0.75,
                    help="rebalance: migrate off shards above this measured "
                         "utilization")
@@ -312,6 +321,8 @@ def cmd_serve_sim(args, out=print) -> int:
         kwargs = {}
         if placement is not None:
             kwargs["placement"] = placement
+        if args.topology == "sharded":
+            kwargs["memsync"] = args.memsync
         if fpga_design is not None and args.topology == "sharded":
             kwargs["die_of"] = die_of
             kwargs["mail_hop_s"] = \
@@ -367,15 +378,20 @@ def cmd_serve_sim(args, out=print) -> int:
                 f"({placement.replica_copies} extra copies)")
         else:
             placement = make_policy("hash").place(heat, args.shards)
-    elif args.placement != "hash":
-        out(f"note: --placement {args.placement} is ignored in pool "
-            f"topology (replicas share one queue and one state store)")
+    else:
+        if args.placement != "hash":
+            out(f"note: --placement {args.placement} is ignored in pool "
+                f"topology (replicas share one queue and one state store)")
+        if args.memsync != "none":
+            out(f"note: --memsync {args.memsync} is ignored in pool "
+                f"topology (replicas share one state store, so nothing "
+                f"is ever stale)")
 
     engine = build_engine(placement=placement, die_of=plan_dies(placement))
     report = run(engine)
 
     if args.topology == "pool":
-        label = (f"serve-sim: pool of {report.shard_stats[0].servers} "
+        label = (f"serve-sim: pool of {report.pool_servers} "
                  f"replica(s) x {report.num_streams} stream(s)")
     else:
         label = (f"serve-sim: {report.num_shards} shard(s) x "
@@ -396,6 +412,10 @@ def cmd_serve_sim(args, out=print) -> int:
         f"{report.replicated_vertices} replicated vertices, "
         f"{report.cross_die_mail_edges} die crossings); "
         f"{'stable' if report.stable else 'OVERLOADED'}")
+    if report.memsync != "none":
+        out(f"memsync {report.memsync}: {report.sync_edges} memory rows "
+            f"synced, {report.stale_reads} stale reads "
+            f"(max version lag {report.max_version_lag})")
     if args.json:
         with open(args.json, "w") as f:
             f.write(report.to_json() + "\n")

@@ -39,7 +39,7 @@ from .message import build_raw_messages
 from .pruning import select_pruned
 from .time_encoding import CosineTimeEncoder, LUTTimeEncoder
 
-__all__ = ["TGNN", "ModelRuntime", "BatchResult"]
+__all__ = ["TGNN", "ModelRuntime", "BatchResult", "MemoryUpdate"]
 
 
 @dataclass
@@ -109,6 +109,26 @@ class BatchResult:
     def neg_embeddings(self) -> Tensor:
         """Embeddings of the negative-sample query nodes (may be empty)."""
         return self.embeddings[np.arange(2 * self._b(), len(self.nodes))]
+
+
+@dataclass
+class MemoryUpdate:
+    """Stage-1 output of :meth:`TGNN.process_batch` (committed memory/mail).
+
+    ``process_batch`` is two pipeline stages — the memory update (the
+    paper's MUU) and the embedding computation (EU) — and distributed
+    deployments need to observe the boundary between them: after stage 1
+    the batch's updated memory rows exist and can be forwarded to other
+    shards *before* any shard's attention reads them (the software
+    analogue of DGNN-Booster's inter-stage state forwarding; see
+    :mod:`repro.serving.memsync`).  This container carries stage 1's
+    results into stage 2.
+    """
+
+    nodes: np.ndarray          # (2B,) interleaved src/dst endpoint ids
+    t_nodes: np.ndarray        # (2B,) per-endpoint edge timestamps
+    inverse: np.ndarray        # (2B,) index into the unique-vertex rows
+    updated: Tensor            # (n_unique, memory_dim) post-GRU memory
 
 
 class TGNN(Module):
@@ -201,20 +221,15 @@ class TGNN(Module):
     # ------------------------------------------------------------------ #
     # training path (autograd)                                            #
     # ------------------------------------------------------------------ #
-    def process_batch(self, batch: EdgeBatch, rt: ModelRuntime,
-                      graph: TemporalGraph,
-                      neg_dst: np.ndarray | None = None) -> BatchResult:
-        """Differentiable processing of one chronological edge batch.
+    def update_memory(self, batch: EdgeBatch,
+                      rt: ModelRuntime) -> MemoryUpdate:
+        """Stage 1 of :meth:`process_batch`: GRU memory update + mail refresh.
 
-        Gradients flow through the GRU update and the attention aggregation
-        of the *current* batch; state committed to the runtime is detached
-        (TGN's standard truncation of backprop across batches).
-
-        ``neg_dst`` (optional, shape ``(n_neg,)``) appends pure *query*
-        embeddings for negative-sampled vertices, evaluated at the batch's
-        edge times (cycled if ``n_neg != B``) against pre-insertion neighbor
-        lists — the TGN link-prediction protocol.  Negative queries never
-        touch vertex state.
+        Consumes each endpoint's cached message, commits the updated memory
+        rows (detached) and the batch's new raw messages to ``rt``, and
+        returns the stage-1 results stage 2 (:meth:`embed`) needs.  Exposed
+        separately so distributed runtimes can forward the freshly-written
+        rows between the two stages (:mod:`repro.serving.memsync`).
         """
         cfg = self.cfg
         nodes = batch.nodes
@@ -236,12 +251,55 @@ class TGNN(Module):
         msgs[0::2] = msg_src
         msgs[1::2] = msg_dst
         rt.state.write_mail(nodes, msgs, t_nodes)
+        return MemoryUpdate(nodes=nodes, t_nodes=t_nodes, inverse=inverse,
+                            updated=updated)
 
-        # --- attention over temporal neighbors (pre-insertion table) ----- #
+    def process_batch(self, batch: EdgeBatch, rt: ModelRuntime,
+                      graph: TemporalGraph,
+                      neg_dst: np.ndarray | None = None) -> BatchResult:
+        """Differentiable processing of one chronological edge batch.
+
+        Gradients flow through the GRU update and the attention aggregation
+        of the *current* batch; state committed to the runtime is detached
+        (TGN's standard truncation of backprop across batches).
+
+        ``neg_dst`` (optional, shape ``(n_neg,)``) appends pure *query*
+        embeddings for negative-sampled vertices, evaluated at the batch's
+        edge times (cycled if ``n_neg != B``) against pre-insertion neighbor
+        lists — the TGN link-prediction protocol.  Negative queries never
+        touch vertex state.
+
+        Equivalent to ``embed(batch, rt, graph, update_memory(batch, rt),
+        neg_dst)`` — the two stages are exposed separately for distributed
+        runtimes that must synchronize state between them.
+        """
+        return self.embed(batch, rt, graph, self.update_memory(batch, rt),
+                          neg_dst)
+
+    def embed(self, batch: EdgeBatch, rt: ModelRuntime,
+              graph: TemporalGraph, update: MemoryUpdate,
+              neg_dst: np.ndarray | None = None,
+              gathered=None) -> BatchResult:
+        """Stage 2 of :meth:`process_batch`: attention over temporal
+        neighbors (pre-insertion table) + neighbor-table append.
+
+        ``gathered`` optionally supplies the precomputed
+        ``rt.sampler.gather(query_nodes, cfg.num_neighbors)`` result so a
+        caller that already sampled the neighbors (the memsync replay's
+        inter-stage sync needs the read-set first) does not pay the gather
+        twice; it must cover exactly the batch's endpoint queries, so it
+        cannot be combined with ``neg_dst``.
+        """
+        cfg = self.cfg
+        nodes, t_nodes = update.nodes, update.t_nodes
+        inverse, updated = update.inverse, update.updated
         query_nodes = nodes
         query_t = t_nodes
         self_feat = updated[inverse]
         if neg_dst is not None and len(neg_dst) > 0:
+            if gathered is not None:
+                raise ValueError("gathered covers only the endpoint "
+                                 "queries; it cannot be used with neg_dst")
             neg = np.asarray(neg_dst, dtype=np.int64)
             neg_t = np.resize(batch.t, len(neg))
             query_nodes = np.concatenate([nodes, neg])
@@ -249,7 +307,8 @@ class TGNN(Module):
             self_feat = Tensor.concat(
                 [self_feat, Tensor(rt.state.memory[neg])], axis=0)
 
-        g = rt.sampler.gather(query_nodes, cfg.num_neighbors)
+        g = gathered if gathered is not None \
+            else rt.sampler.gather(query_nodes, cfg.num_neighbors)
         dt_nbr = np.maximum(query_t[:, None] - g.times, 0.0)
         dt_nbr = np.where(g.mask, dt_nbr, 0.0)
         nbr_mem = rt.state.memory[g.nbrs]

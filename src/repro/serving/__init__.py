@@ -41,11 +41,28 @@ edge to every holder, so replica state is exact.  Built-ins:
 
 Register new policies in :data:`PLACEMENT_POLICIES` (name -> class); the
 ``serve-sim`` CLI and ``bench_serving_scale`` sweep whatever is there.
+
+Cross-shard memory sync
+-----------------------
+The mailbox keeps neighbor *tables* exact; vertex-*memory* coherence for
+non-held endpoints is a policy (:mod:`repro.serving.memsync`):
+
+* :class:`VersionedMemoryCache` — per-vertex version counters bumped on
+  every owner write, with ``none`` / ``invalidate`` / ``push`` policies
+  (:data:`MEMSYNC_POLICIES`);
+* :class:`ShardedRuntime` — the functional two-phase sharded replay whose
+  held-vertex memory tables and embeddings are bit-identical to the
+  unsharded runtime under the sync policies;
+* ``ServingEngine(..., memsync=...)`` prices the sync traffic into service
+  times and reports ``sync_edges`` / ``stale_reads`` / ``max_version_lag``
+  (``serve-sim --memsync {none,invalidate,push}`` sweeps it).
 """
 
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
 from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
                      make_stream_arrivals)
+from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
+                      VersionedMemoryCache)
 from .placement import (PLACEMENT_POLICIES, LoadAwareRebalance,  # noqa: F401
                         Placement, PlacementPolicy, ReplicatedReadMostly,
                         StaticHashPlacement, VertexHeat, hash_assignment,
@@ -64,4 +81,5 @@ __all__ = [
     "Placement", "PlacementPolicy", "VertexHeat", "hash_assignment",
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
     "PLACEMENT_POLICIES", "make_policy",
+    "MEMSYNC_POLICIES", "VersionedMemoryCache", "ShardedRuntime",
 ]

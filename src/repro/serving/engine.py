@@ -43,6 +43,7 @@ import numpy as np
 from ..graph.batching import iter_time_windows
 from ..graph.temporal_graph import TemporalGraph
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
+from .memsync import MEMSYNC_POLICIES, VersionedMemoryCache
 from .placement import Placement
 from .registry import DEFAULT_REGISTRY, BackendRegistry
 from .router import CrossShardMailbox, ShardRouter
@@ -109,6 +110,11 @@ class ServingReport:
     topology: str = "sharded"
     placement: str = "hash"     # placement policy name ("none" for pool)
     replicated_vertices: int = 0  # vertices held by more than one shard
+    memsync: str = "none"       # cross-shard memory sync policy
+    sync_edges: int = 0         # memory rows transferred between shards
+    stale_reads: int = 0        # reads served from a stale mirror (none)
+    max_version_lag: int = 0    # worst version lag among those reads
+    pool_servers: int = 1       # replicas behind the shared queue (pool)
 
     @property
     def stable(self) -> bool:
@@ -187,7 +193,9 @@ def make_stream_arrivals(graph: TemporalGraph, window_s: float,
         for t_close, batch in base:
             arrivals.append(StreamArrival(t=(t_close - t0) / speedup + phase,
                                           stream=i, batch=batch))
-    arrivals.sort(key=lambda a: a.t)
+    # Same-instant arrivals from different streams must order
+    # deterministically, not by sort stability over insertion order.
+    arrivals.sort(key=lambda a: (a.t, a.stream))
     return arrivals
 
 
@@ -224,6 +232,16 @@ class ServingEngine:
     pool_servers:
         Replica count behind the shared queue (pool topology only;
         defaults to ``len(backends)``).
+    memsync:
+        Cross-shard memory sync policy (sharded topology):
+        ``"none"`` (default, stale mirrors — staleness is still measured),
+        ``"invalidate"`` (pull fresh rows on stale reads, priced as
+        mailbox round-trips) or ``"push"`` (owner writes forward rows
+        alongside the edge mail).  See :mod:`repro.serving.memsync`.
+        Pricing only: sync traffic inflates service times through
+        ``mail_hop_s`` and surfaces in the report (``sync_edges`` /
+        ``stale_reads`` / ``max_version_lag``); the *functional* exactness
+        protocol lives in :class:`~repro.serving.memsync.ShardedRuntime`.
     """
 
     def __init__(self, backends: Sequence, num_nodes: int,
@@ -233,11 +251,17 @@ class ServingEngine:
                  die_of: Sequence[int] | None = None,
                  mail_hop_s: float = 0.0,
                  topology: str = "sharded",
-                 pool_servers: int | None = None):
+                 pool_servers: int | None = None,
+                 memsync: str = "none"):
         if not backends:
             raise ValueError("need at least one backend")
         if topology not in TOPOLOGIES:
             raise ValueError(f"topology must be one of {TOPOLOGIES}")
+        if memsync not in MEMSYNC_POLICIES:
+            raise ValueError(f"memsync must be one of {MEMSYNC_POLICIES}")
+        if topology == "pool" and memsync != "none":
+            raise ValueError("pool topology shares one state store: "
+                             "memsync does not apply")
         if router is not None and placement is not None:
             raise ValueError("pass either router or placement, not both")
         if pool_servers is not None:
@@ -271,6 +295,7 @@ class ServingEngine:
         self.die_of = None if die_of is None else np.asarray(die_of,
                                                              dtype=np.int64)
         self.mail_hop_s = float(mail_hop_s)
+        self.memsync = memsync
 
     @classmethod
     def from_registry(cls, backend: str | Sequence[str], model,
@@ -314,6 +339,24 @@ class ServingEngine:
             return 0
         return int((self.die_of[mail_from] != self.die_of[shard]).sum())
 
+    def _cross_die_sync(self, sb) -> int:
+        """Die-crossing hop count of a sub-job's sync traffic.
+
+        A pulled row is a read-blocking round-trip (two hops: request +
+        response); a pushed row rides in with the mail (one hop).  Rows
+        exchanged between shards on the same die are free, exactly like
+        edge mail.
+        """
+        if self.die_of is None:
+            return 0
+        hops = 0
+        for rows, cost in ((sb.sync_pull, 2), (sb.sync_push, 1)):
+            if len(rows):
+                owners = self.router.assignment[rows]
+                hops += cost * int((self.die_of[owners]
+                                    != self.die_of[sb.shard]).sum())
+        return hops
+
     def run(self, graph: TemporalGraph, window_s: float, start: int = 0,
             end: int | None = None, speedup: float = 1.0,
             num_streams: int = 1,
@@ -342,46 +385,72 @@ class ServingEngine:
                      speedup: float, num_streams: int,
                      queue_capacity: int | None) -> ServingReport:
         mailbox = CrossShardMailbox(self.num_shards)
+        cache = VersionedMemoryCache(self.router.placement,
+                                     policy=self.memsync)
 
-        # Split every released job across shards.  The cross-die mail count
-        # is computed once per sub-batch here and reused both for the
-        # service-time penalty and (if the sub-job is actually served) the
-        # traffic report.
+        # Split every released job across shards, running the memsync
+        # protocol in job-release (stream) order.  The cross-die mail and
+        # sync hop counts are computed once per sub-batch here and reused
+        # both for the service-time penalty and (if the sub-job is actually
+        # served) the traffic report.
         per_shard: list[list[tuple[float, tuple]]] = \
             [[] for _ in range(self.num_shards)]
         for ji, job in enumerate(jobs):
-            for sb in self.router.split(job.batch):
+            for sb in self.router.split(job.batch, cache=cache):
                 hops = self._cross_die_mail(sb.shard, sb.mail_from)
-                per_shard[sb.shard].append((job.t_release, (ji, sb, hops)))
+                sync_hops = self._cross_die_sync(sb)
+                per_shard[sb.shard].append(
+                    (job.t_release, (ji, sb, hops, sync_hops)))
 
         # Each shard is a dedicated single server over its own FIFO: shard
         # state must advance in stream order, so jobs cannot be re-balanced.
-        # Traffic is accounted per *served* sub-job — edges rejected by a
-        # full queue were never processed and must not inflate the report.
-        finish_of_job = np.full(len(jobs), -np.inf)
-        job_dropped = np.zeros(len(jobs), dtype=bool)
-        shard_traffic = np.zeros((self.num_shards, 2), dtype=np.int64)
-        cross_die_mail = 0
         shard_results: list[SimulationResult] = []
         for shard, backend in enumerate(self.backends):
             def service(payload, _backend=backend):
-                _, sb, hops = payload
+                _, sb, hops, sync_hops = payload
                 return _backend.process_batch(sb.batch) \
-                    + self.mail_hop_s * hops
+                    + self.mail_hop_s * (hops + sync_hops)
 
-            res = simulate_queue(per_shard[shard], service, num_servers=1,
-                                 queue_capacity=queue_capacity)
-            shard_results.append(res)
+            shard_results.append(
+                simulate_queue(per_shard[shard], service, num_servers=1,
+                               queue_capacity=queue_capacity))
+
+        # Resolve drops globally first: a window is dropped if *any*
+        # shard's queue rejected its sub-job, and a dropped window's
+        # surviving sub-jobs must not inflate the traffic report even
+        # though their shards did serve them.
+        finish_of_job = np.full(len(jobs), -np.inf)
+        job_dropped = np.zeros(len(jobs), dtype=bool)
+        for shard, res in enumerate(shard_results):
+            for di in res.dropped_indices:
+                job_dropped[per_shard[shard][di][1][0]] = True
+
+        # Traffic is accounted per served sub-job of a non-dropped window —
+        # edges rejected by a full queue were never processed, and partial
+        # windows are reported dropped, so neither may count.
+        shard_traffic = np.zeros((self.num_shards, 2), dtype=np.int64)
+        cross_die_mail = 0
+        sync_edges = 0
+        stale_reads = 0
+        max_version_lag = 0
+        for shard, res in enumerate(shard_results):
             for sj in res.served:
-                ji, sb, hops = per_shard[shard][sj.index][1]
+                ji, sb, hops, _ = per_shard[shard][sj.index][1]
                 finish_of_job[ji] = max(finish_of_job[ji], sj.t_finish)
+                if job_dropped[ji]:
+                    continue
                 shard_traffic[shard, 0] += sb.local_edges
                 shard_traffic[shard, 1] += sb.mail_edges
                 cross_die_mail += hops
                 if sb.mail_edges:
                     mailbox.record(sb.mail_from, shard)
-            for di in res.dropped_indices:
-                job_dropped[per_shard[shard][di][1][0]] = True
+                for rows in (sb.sync_pull, sb.sync_push):
+                    if len(rows):
+                        mailbox.record_sync(self.router.assignment[rows],
+                                            shard)
+                        sync_edges += len(rows)
+                stale_reads += sb.stale_reads
+                max_version_lag = max(max_version_lag, sb.version_lag)
 
         # Window-level accounting: a window responds when its job's last
         # shard finishes; it is dropped if any shard's queue rejected it.
@@ -433,7 +502,11 @@ class ServingEngine:
             shard_stats=stats,
             topology="sharded",
             placement=placement.policy,
-            replicated_vertices=placement.replicated_vertices)
+            replicated_vertices=placement.replicated_vertices,
+            memsync=self.memsync,
+            sync_edges=sync_edges,
+            stale_reads=stale_reads,
+            max_version_lag=max_version_lag)
 
     # ------------------------------------------------------------------ #
     def _run_pool(self, arrivals: list[StreamArrival],
@@ -501,4 +574,5 @@ class ServingEngine:
             shard_stats=stats,
             topology="pool",
             placement="none",
-            replicated_vertices=0)
+            replicated_vertices=0,
+            pool_servers=self.pool_servers)

@@ -1,0 +1,297 @@
+"""Versioned cross-shard memory synchronization: exact (not stale) reads.
+
+PR 1's mailbox makes neighbor *tables* exact on every holder, but a shard's
+vertex-memory rows for non-held endpoints are stale mirrors: the GRU inputs
+and the attention's neighbor-memory gathers silently read values that
+diverge from the unsharded runtime.  The source paper never meets this bug
+— its co-design keeps the whole Vertex Memory Table coherent on one device
+— but streaming accelerators that scale out do: FlowGNN forwards state
+through multi-queue streams and DGNN-Booster forwards on-chip state between
+pipeline stages.  This module is the distributed-software analogue: a
+write-versioned memory cache with pluggable coherence policies, priced
+through the same mailbox that already carries cross-shard edges.
+
+Vocabulary
+----------
+owner write
+    A vertex's state rows (memory, mailbox, timestamps) change exactly once
+    per batch the vertex appears in; the primary owner always participates
+    (it holds the vertex, so the mailbox delivers every incident edge), so
+    each such event bumps the vertex's version counter by one.
+mirror
+    Any non-holder shard that has received the vertex's rows keeps a cached
+    copy — a mirror — stamped with the version it received.  A mirror whose
+    stamp lags the owner's version is *stale*.
+holder
+    Owner or replica (see :class:`~repro.serving.placement.Placement`).
+    Holders receive every incident edge and therefore observe every write
+    event; their rows are never version-stale.
+
+Policies
+--------
+``none``
+    Today's behavior, kept as the explicit baseline: mirrors are never
+    refreshed.  The cache still *counts* — ``stale_reads`` and
+    ``max_version_lag`` quantify the staleness the deployment tolerates.
+``invalidate``
+    Write-invalidate: an owner write implicitly invalidates remote mirrors
+    (the version stamp lags; invalidation notices piggyback on the edge
+    mail and are not counted as row traffic).  A shard reading an invalid
+    row pulls the fresh row from the owner — one mailbox round-trip (the
+    row transfer counts once in ``sync_counts``; the latency is priced at
+    two hops, request + response).
+``push``
+    Write-update: owner writes eagerly forward the updated rows to every
+    mirror holder that receives mail in the same job — the rows ride
+    alongside the existing edge mail (one hop each).  Mirrors that sat out
+    the job fall back to a pull on their next read, so reads are exact
+    under both sync policies; the policies differ in traffic volume and in
+    where the latency lands (eager one-hop deliveries vs read-blocking
+    round-trips).
+
+Version counters measure *event currency*, not value fidelity: under
+``none`` a mirror locally rewritten from a partial edge view is still
+tainted (its inputs were stale), so local writes never mark a mirror
+current — only a sync delivery does.  Under ``invalidate``/``push`` every
+row is repaired before use, which is why the two-phase replay below is
+bit-exact.
+
+Exactness
+---------
+:class:`ShardedRuntime` is the functional replay that closes the gap: it
+drives :meth:`~repro.models.tgn.TGNN.update_memory` and
+:meth:`~repro.models.tgn.TGNN.embed` as two phases per batch, synchronizing
+endpoint rows before the memory stage and neighbor-memory rows between the
+stages (DGNN-Booster's inter-stage forwarding, in software).  With
+``memsync='push'`` (or ``'invalidate'``) every row a shard reads equals the
+unsharded value bit-for-bit, so held vertices' memory tables and embeddings
+are bit-identical to the unsharded :class:`~repro.models.tgn.ModelRuntime`
+— the acceptance test of this subsystem.  The serving engine does not run
+this functional protocol (backends are opaque timing models); it reuses the
+same :class:`VersionedMemoryCache` at endpoint granularity to *price* the
+sync traffic (``ServingReport.sync_edges`` / ``stale_reads`` /
+``max_version_lag``, cross-die transfers charged via ``mail_hop_s``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.temporal_graph import EdgeBatch
+from .placement import Placement
+from .router import CrossShardMailbox, ShardRouter
+
+__all__ = ["MEMSYNC_POLICIES", "ReadOutcome", "VersionedMemoryCache",
+           "ShardedRuntime"]
+
+MEMSYNC_POLICIES = ("none", "invalidate", "push")
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """What one shard's read-set cost under the cache's policy."""
+
+    pulled: np.ndarray = field(default_factory=lambda: _EMPTY)
+    stale_reads: int = 0        # reads served from a stale mirror (none)
+    max_lag: int = 0            # largest version lag among those reads
+
+
+class VersionedMemoryCache:
+    """Per-vertex version counters + per-shard mirror stamps.
+
+    Pure accounting: callers drive :meth:`note_reads` /
+    :meth:`note_writes` in stream order and act on the returned pull/push
+    vertex sets (the engine prices them; :class:`ShardedRuntime` actually
+    copies the rows).  The matrices are ``(num_shards, num_nodes)`` — fine
+    at simulation scale; a deployment would keep per-shard sparse maps.
+    """
+
+    def __init__(self, placement: Placement, policy: str = "none"):
+        if policy not in MEMSYNC_POLICIES:
+            raise ValueError(f"memsync policy must be one of "
+                             f"{MEMSYNC_POLICIES}, got {policy!r}")
+        self.policy = policy
+        self.placement = placement
+        self.assignment = placement.assignment
+        self.num_shards = placement.num_shards
+        self._holder = placement.holder_matrix()
+        n = placement.num_nodes
+        # Owner-side truth: one bump per batch the vertex appears in.
+        self.version = np.zeros(n, dtype=np.int64)
+        # Version each shard's copy of each row reflects.
+        self.mirror_version = np.zeros((self.num_shards, n), dtype=np.int64)
+        # True once a shard holds a cached copy of a non-held row.
+        self._mirror = np.zeros((self.num_shards, n), dtype=bool)
+        # Running totals (the engine re-aggregates per served sub-job so it
+        # can exclude dropped windows; these count everything observed).
+        self.pulled_rows = 0
+        self.pushed_rows = 0
+        self.stale_reads = 0
+        self.max_version_lag = 0
+
+    @property
+    def sync_rows(self) -> int:
+        """Total rows transferred between shards (pulls + pushes)."""
+        return self.pulled_rows + self.pushed_rows
+
+    # ------------------------------------------------------------------ #
+    def note_reads(self, shard: int, vertices: np.ndarray) -> ReadOutcome:
+        """Account one shard's read-set; returns the rows it must pull.
+
+        Under ``none`` stale reads are only counted; under ``invalidate``
+        and ``push`` every stale row is pulled from its owner and the
+        mirror stamped current — the caller is responsible for actually
+        transferring the returned ``pulled`` rows before using them.
+        """
+        v = np.unique(np.asarray(vertices, dtype=np.int64))
+        v = v[~self._holder[shard, v]]       # holders are never stale
+        if not len(v):
+            return ReadOutcome()
+        lag = self.version[v] - self.mirror_version[shard, v]
+        stale = v[lag > 0]
+        if self.policy == "none":
+            max_lag = int(lag.max(initial=0))
+            self.stale_reads += len(stale)
+            self.max_version_lag = max(self.max_version_lag, max_lag)
+            return ReadOutcome(stale_reads=len(stale),
+                               max_lag=max_lag if len(stale) else 0)
+        self.mirror_version[shard, stale] = self.version[stale]
+        self._mirror[shard, stale] = True
+        self.pulled_rows += len(stale)
+        return ReadOutcome(pulled=stale)
+
+    def note_writes(self, vertices: np.ndarray,
+                    present_shards) -> dict[int, np.ndarray]:
+        """Account one batch's owner writes; returns push deliveries.
+
+        ``vertices`` is the batch's (unique) endpoint set; every one of
+        them is written exactly once by the batch.  Holders observe the
+        event and stay current.  Under ``push`` the updated rows are
+        forwarded to mirror holders among ``present_shards`` (the shards
+        receiving this job's mail) — the returned ``{shard: vertices}``
+        deliveries the caller must apply.  Absent mirrors simply lag and
+        repair through the pull fallback on their next read.
+        """
+        v = np.unique(np.asarray(vertices, dtype=np.int64))
+        if not len(v):
+            return {}
+        self.version[v] += 1
+        held = self._holder[:, v]                        # (S, |v|)
+        self.mirror_version[:, v] = np.where(
+            held, self.version[v][None, :], self.mirror_version[:, v])
+        pushes: dict[int, np.ndarray] = {}
+        if self.policy == "push":
+            for shard in present_shards:
+                tgt = v[self._mirror[shard, v] & ~self._holder[shard, v]
+                        & (self.mirror_version[shard, v] < self.version[v])]
+                if len(tgt):
+                    self.mirror_version[shard, tgt] = self.version[tgt]
+                    self.pushed_rows += len(tgt)
+                    pushes[shard] = tgt
+        return pushes
+
+
+# --------------------------------------------------------------------------- #
+class ShardedRuntime:
+    """Functional sharded TGNN replay with versioned memory sync.
+
+    One :class:`~repro.models.tgn.ModelRuntime` per shard, a router
+    splitting each chronological batch, and the two-phase per-batch drive
+    that makes cross-shard reads exact:
+
+    1. *endpoint sync* — each involved shard pulls the stale rows of its
+       sub-batch's endpoints (the rows the GRU and mail refresh read);
+    2. *memory stage* — :meth:`~repro.models.tgn.TGNN.update_memory` per
+       shard (every shard computes the same update for a shared endpoint,
+       because the update depends only on the synced pre-batch rows);
+    3. *owner writes* — versions bump once per batch vertex; under
+       ``push`` the owners' fresh rows are delivered to present mirrors;
+    4. *neighbor sync* — each shard pulls the stale memory rows of the
+       temporal neighbors its attention will gather (the inter-stage state
+       forwarding of DGNN-Booster, in software);
+    5. *embedding stage* — :meth:`~repro.models.tgn.TGNN.embed` per shard.
+
+    With ``policy='push'`` or ``'invalidate'`` the held vertices' memory
+    tables and embeddings are bit-identical to an unsharded replay;
+    ``'none'`` reproduces the stale-mirror divergence this module exists
+    to close (and measures it).
+    """
+
+    def __init__(self, model, graph, num_shards: int | None = None,
+                 placement: Placement | None = None, policy: str = "push"):
+        if placement is not None:
+            self.router = ShardRouter.from_placement(placement)
+        else:
+            if num_shards is None:
+                raise ValueError("pass num_shards or placement")
+            self.router = ShardRouter(num_shards, graph.num_nodes)
+        self.model = model
+        self.graph = graph
+        self.cache = VersionedMemoryCache(self.router.placement,
+                                          policy=policy)
+        self.mailbox = CrossShardMailbox(self.router.num_shards)
+        self.runtimes = [model.new_runtime(graph)
+                         for _ in range(self.router.num_shards)]
+
+    @property
+    def policy(self) -> str:
+        return self.cache.policy
+
+    # ------------------------------------------------------------------ #
+    def _transfer(self, vertices: np.ndarray, to_shard: int) -> None:
+        """Copy full state rows from each vertex's owner to ``to_shard``."""
+        if not len(vertices):
+            return
+        owners = self.router.assignment[vertices]
+        self.mailbox.record_sync(owners, to_shard)
+        dst = self.runtimes[to_shard].state
+        for owner in np.unique(owners):
+            rows = vertices[owners == owner]
+            src = self.runtimes[owner].state
+            dst.memory[rows] = src.memory[rows]
+            dst.mailbox[rows] = src.mailbox[rows]
+            dst.mail_time[rows] = src.mail_time[rows]
+            dst.last_update[rows] = src.last_update[rows]
+
+    def process_batch(self, batch: EdgeBatch) -> dict[int, "BatchResult"]:
+        """Process one chronological batch across all shards.
+
+        Returns ``{shard: BatchResult}`` for every shard with incident
+        edges.  Only the rows of *held* query vertices are exact under the
+        sync policies; non-held rows are computed against that shard's
+        partial neighbor table (exactly as in deployment, where a shard
+        answers queries only for the vertices it holds).
+        """
+        subs = self.router.split(batch, self.mailbox, cache=self.cache)
+        # Endpoint sync happened inside split (phase 1): apply the pulls
+        # before any shard's memory stage reads the rows.
+        for sb in subs:
+            self._transfer(sb.sync_pull, sb.shard)
+        updates = {sb.shard: self.model.update_memory(
+            sb.batch, self.runtimes[sb.shard]) for sb in subs}
+        # Owner writes are exact now; deliver the push rows (phase 3).
+        for sb in subs:
+            self._transfer(sb.sync_push, sb.shard)
+        # Neighbor sync (phase 4): the attention gathers the pre-insertion
+        # FIFO neighbors and reads their *memory* rows, which other shards
+        # may have rewritten this very batch.  The gather is reused by the
+        # embedding stage (the table only changes at insert time, inside
+        # ``embed``).
+        k = self.model.cfg.num_neighbors
+        gathers = {}
+        for sb in subs:
+            g = self.runtimes[sb.shard].sampler.gather(sb.batch.nodes, k)
+            gathers[sb.shard] = g
+            out = self.cache.note_reads(sb.shard, np.unique(g.nbrs[g.mask]))
+            self._transfer(out.pulled, sb.shard)
+        return {sb.shard: self.model.embed(
+            sb.batch, self.runtimes[sb.shard], self.graph,
+            updates[sb.shard], gathered=gathers[sb.shard]) for sb in subs}
+
+    def held_vertices(self, shard: int) -> np.ndarray:
+        """Vertex ids shard ``shard`` holds (owned or replicated)."""
+        return np.flatnonzero(self.router._member[shard])

@@ -20,14 +20,27 @@ Consequently every holder of a vertex sees exactly the edges incident to
 it, in stream order.  That gives a hard consistency guarantee for the FIFO
 neighbor state: a shard's neighbor-table rows for the vertices it *holds*
 (owned or replicated) are identical to the unsharded table's rows (asserted
-by the serving and placement tests).  Memory rows of non-held endpoints
-remain stale mirrors — replication shrinks that population to exactly the
-vertices a policy chose not to replicate.
+by the serving and placement tests).
+
+Vertex *memory* rows of non-held endpoints are governed by a separate,
+pluggable sync policy (:mod:`repro.serving.memsync`).  The mail can carry
+memory-row updates and invalidations alongside the edges: pass a
+:class:`~repro.serving.memsync.VersionedMemoryCache` to :meth:`split` and
+each :class:`ShardBatch` reports the rows the shard must pull before
+processing (``sync_pull``), the owner-pushed rows riding in with its mail
+(``sync_push``), and the staleness it tolerated (``stale_reads`` /
+``version_lag``).  Policy space: ``none`` keeps PR 1's stale mirrors (and
+measures the staleness), ``invalidate`` pulls fresh rows on demand, and
+``push`` eagerly forwards owner writes — under the sync policies a holder's
+memory rows are exact, not stale mirrors (the bit-identity tests in
+``test_memsync``).  The :class:`CrossShardMailbox` prices both kinds of
+traffic: ``counts`` for forwarded edges, ``sync_counts`` for transferred
+memory rows.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -37,15 +50,30 @@ from .placement import Placement, hash_assignment
 __all__ = ["ShardBatch", "CrossShardMailbox", "ShardRouter"]
 
 
+_NO_ROWS = np.empty(0, dtype=np.int64)
+
+
 @dataclass(frozen=True)
 class ShardBatch:
-    """The slice of one job a single shard must process."""
+    """The slice of one job a single shard must process.
+
+    The ``sync_*`` fields are populated when :meth:`ShardRouter.split` is
+    given a memsync cache: ``sync_pull`` are the vertex rows this shard
+    must fetch from their owners before processing (priced as mailbox
+    round-trips), ``sync_push`` the owner-updated rows delivered alongside
+    its mail, and ``stale_reads`` / ``version_lag`` the staleness the
+    ``none`` policy tolerated instead.
+    """
 
     shard: int
     batch: EdgeBatch            # local + forwarded edges, chronological
     local_edges: int
     mail_edges: int             # edges forwarded in from other shards
     mail_from: np.ndarray       # (mail_edges,) source shard per forwarded edge
+    sync_pull: np.ndarray = field(default_factory=lambda: _NO_ROWS)
+    sync_push: np.ndarray = field(default_factory=lambda: _NO_ROWS)
+    stale_reads: int = 0
+    version_lag: int = 0
 
 
 class CrossShardMailbox:
@@ -61,15 +89,27 @@ class CrossShardMailbox:
     def __init__(self, num_shards: int):
         self.num_shards = int(num_shards)
         self.counts = np.zeros((num_shards, num_shards), dtype=np.int64)
+        # Memory rows transferred for cross-shard sync (pulls + pushes),
+        # keyed the same way: [owner shard, receiving shard].
+        self.sync_counts = np.zeros((num_shards, num_shards), dtype=np.int64)
 
     def record(self, from_shards: np.ndarray, to_shard: int) -> None:
         """Record forwarded edges (one per entry of ``from_shards``)."""
         np.add.at(self.counts, (np.asarray(from_shards, dtype=np.int64),
                                 int(to_shard)), 1)
 
+    def record_sync(self, from_shards: np.ndarray, to_shard: int) -> None:
+        """Record synced memory rows (one per entry of ``from_shards``)."""
+        np.add.at(self.sync_counts,
+                  (np.asarray(from_shards, dtype=np.int64), int(to_shard)), 1)
+
     @property
     def total_edges(self) -> int:
         return int(self.counts.sum())
+
+    @property
+    def total_sync_rows(self) -> int:
+        return int(self.sync_counts.sum())
 
 
 class ShardRouter:
@@ -110,13 +150,23 @@ class ShardRouter:
         return self.assignment[np.asarray(vertices, dtype=np.int64)]
 
     def split(self, batch: EdgeBatch,
-              mailbox: CrossShardMailbox | None = None) -> list[ShardBatch]:
+              mailbox: CrossShardMailbox | None = None,
+              cache=None) -> list[ShardBatch]:
         """Partition ``batch`` into per-shard sub-batches.
 
         Each returned sub-batch preserves stream order.  An edge appears on
         its source's owner (local) and on every other holder of either
         endpoint (mail) — with no replication that is exactly the two
         owners.  Shards with no incident edges are omitted.
+
+        With a :class:`~repro.serving.memsync.VersionedMemoryCache` as
+        ``cache``, the split also runs the sync protocol for this batch in
+        stream order — every shard's endpoint reads first (against the
+        pre-batch versions), then the batch's owner writes — and attaches
+        the resulting pull/push row sets and staleness counts to each
+        :class:`ShardBatch`.  The caller prices (or, in a functional
+        replay, actually transfers) those rows; ``split`` itself never
+        touches vertex state.
         """
         s_src = self.assignment[batch.src]
         out: list[ShardBatch] = []
@@ -138,4 +188,15 @@ class ShardRouter:
                                   local_edges=int(local.sum()),
                                   mail_edges=int(mail.sum()),
                                   mail_from=mail_from))
-        return out
+        if cache is None:
+            return out
+        reads = {sb.shard: cache.note_reads(sb.shard,
+                                            np.unique(sb.batch.nodes))
+                 for sb in out}
+        pushes = cache.note_writes(np.unique(batch.nodes),
+                                   [sb.shard for sb in out])
+        return [replace(sb, sync_pull=reads[sb.shard].pulled,
+                        sync_push=pushes.get(sb.shard, _NO_ROWS),
+                        stale_reads=reads[sb.shard].stale_reads,
+                        version_lag=reads[sb.shard].max_lag)
+                for sb in out]

@@ -23,6 +23,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
          os.path.join("benchmarks", "bench_serving_scale.py"), "--smoke"],
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=60)
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "2 passed" in proc.stdout
+    assert "3 passed" in proc.stdout
     assert "Serving scale" in proc.stdout
     assert "Placement x topology" in proc.stdout
+    assert "Memory sync" in proc.stdout

@@ -160,6 +160,65 @@ class TestServeSim:
         assert a == b
         assert b"replication_factor" in a and b"topology" in a
 
+    def test_serve_sim_memsync_push_prints_sync_traffic(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "4",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--memsync", "push"])
+        assert code == 0
+        assert "memsync push:" in text
+        assert "memory rows synced" in text
+
+    def test_serve_sim_memsync_none_matches_default_byte_for_byte(
+            self, tmp_path):
+        """Acceptance: --memsync none reproduces today's (no-flag) report."""
+        argv = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+                "--shards", "4", "--streams", "2", "--backend", "cpu-32t",
+                "--window-s", "3600", "--memory-dim", "8"]
+        paths = [str(tmp_path / "default.json"), str(tmp_path / "none.json")]
+        code, text_default = run(argv + ["--json", paths[0]])
+        assert code == 0
+        code, text_none = run(argv + ["--memsync", "none",
+                                      "--json", paths[1]])
+        assert code == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
+        # Console output matches too (modulo the JSON path echo line).
+        strip = lambda t: [ln for ln in t.splitlines()
+                           if not ln.startswith("wrote JSON")]
+        assert strip(text_default) == strip(text_none)
+        # none stays silent: no memsync traffic line is printed.
+        assert not any(ln.startswith("memsync")
+                       for ln in text_none.splitlines())
+
+    def test_serve_sim_memsync_json_determinism(self, tmp_path):
+        argv = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+                "--shards", "4", "--streams", "2", "--backend", "cpu-32t",
+                "--window-s", "3600", "--memory-dim", "8",
+                "--memsync", "invalidate"]
+        paths = [str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        for path in paths:
+            code, _ = run(argv + ["--json", path])
+            assert code == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
+        import json
+        report = json.loads(a)
+        assert report["memsync"] == "invalidate"
+        assert report["sync_edges"] > 0
+        assert report["stale_reads"] == 0
+
+    def test_serve_sim_pool_ignores_memsync_with_note(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "400", "--shards", "2",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--topology", "pool", "--memsync", "push"])
+        assert code == 0
+        assert "--memsync push is ignored" in text
+        assert "pool of 2 replica(s)" in text
+
     def test_serve_sim_json_covers_every_topology(self, tmp_path):
         for i, extra in enumerate((["--topology", "pool"],
                                    ["--placement", "replicate"])):

@@ -487,6 +487,146 @@ class TestServingEngine:
 
 
 # --------------------------------------------------------------------------- #
+class TestPartialWindowAccounting:
+    """Regression: when one shard's bounded queue dropped a sub-job, the
+    other shards' served sub-jobs of the same window still inflated
+    processed_edges, shard traffic, mailbox counts, and the replication
+    factor even though the window was reported dropped."""
+
+    def partial_drop_run(self):
+        from repro.graph import TemporalGraph
+        from repro.pipeline import LinearCostBackend
+        from repro.serving import Placement
+        # 10 single-edge windows 0 -> 1; vertex 0 on shard 0, vertex 1 on
+        # shard 1, so every window forks into a local sub-job (shard 0)
+        # and a mailed sub-job (shard 1).
+        n = 10
+        g = TemporalGraph(src=np.zeros(n, dtype=np.int64),
+                          dst=np.ones(n, dtype=np.int64),
+                          t=10.0 * np.arange(n), num_nodes=2)
+        placement = Placement(assignment=np.array([0, 1]), num_shards=2)
+        # Shard 0 needs 100 s per edge: its capacity-1 queue accepts the
+        # first two windows and rejects the rest; shard 1 is fast and
+        # serves its sub-job of *every* window.
+        engine = ServingEngine(
+            [LinearCostBackend(per_edge_s=100.0),
+             LinearCostBackend(per_edge_s=1e-3)],
+            g.num_nodes, placement=placement)
+        return engine.run(g, window_s=5.0, queue_capacity=1)
+
+    def test_dropped_window_subjobs_excluded_from_traffic(self):
+        rep = self.partial_drop_run()
+        assert rep.windows == 2 and rep.dropped_windows == 8
+        # Shard 1 *served* all ten sub-jobs (queueing really happened)...
+        assert rep.shard_stats[1].jobs == 10
+        assert rep.shard_stats[0].dropped_jobs == 8
+        # ...but only the two completed windows may count as traffic.
+        assert rep.shard_stats[0].edges == 2      # local sub-jobs
+        assert rep.shard_stats[1].edges == 2      # mailed sub-jobs
+        assert rep.processed_edges == 4
+        assert rep.cross_shard_edges == 2
+        assert rep.served_edges == 2
+        assert rep.replication_factor == pytest.approx(2.0)
+        assert rep.processed_edges == sum(s.edges for s in rep.shard_stats)
+        assert rep.cross_shard_edges == \
+            sum(s.mail_in_edges for s in rep.shard_stats)
+
+
+class TestArrivalTieBreak:
+    """Regression: same-instant arrivals from different streams relied on
+    sort stability; the key is now explicitly ``(t, stream)``."""
+
+    def tie_graph(self):
+        from repro.graph import TemporalGraph
+        # Windows [1, 11) and [11, 21) close at t=9 and t=14; with two
+        # streams (phase shift 5) stream 0's second window and stream 1's
+        # first window both arrive at normalized t=5.
+        return TemporalGraph(src=np.array([0, 1, 0]),
+                             dst=np.array([1, 0, 1]),
+                             t=np.array([1.0, 9.0, 14.0]), num_nodes=2)
+
+    def test_same_instant_arrivals_order_by_stream(self):
+        arrivals = make_stream_arrivals(self.tie_graph(), 10.0,
+                                        num_streams=2)
+        keys = [(a.t, a.stream) for a in arrivals]
+        assert keys == [(0.0, 0), (5.0, 0), (5.0, 1), (10.0, 1)]
+        assert keys == sorted(keys)
+
+    def test_tied_workload_report_is_byte_stable(self):
+        from repro.pipeline import LinearCostBackend
+        g = self.tie_graph()
+        reports = []
+        for _ in range(3):
+            engine = ServingEngine(
+                [LinearCostBackend(per_edge_s=1e-2) for _ in range(2)],
+                g.num_nodes)
+            reports.append(engine.run(g, window_s=10.0,
+                                      num_streams=2).to_json())
+        assert reports[0] == reports[1] == reports[2]
+
+
+class TestWarmStateRerun:
+    """``ServingEngine.run`` documents that a second run continues from
+    warm backend state; pin that contract."""
+
+    class RampBackend:
+        """Service time grows with every call — observable warm state."""
+
+        name = "ramp"
+
+        def __init__(self):
+            self.calls = 0
+
+        def process_batch(self, batch):
+            self.calls += 1
+            return 1e-3 * self.calls
+
+    def test_second_run_continues_from_warm_state(self):
+        g = wikipedia_like(num_edges=300, num_users=40, num_items=10)
+        engine = ServingEngine([self.RampBackend()], g.num_nodes)
+        first = engine.run(g, window_s=3600.0)
+        second = engine.run(g, window_s=3600.0)
+        fresh = ServingEngine([self.RampBackend()],
+                              g.num_nodes).run(g, window_s=3600.0)
+        # Deterministic baseline: a fresh engine reproduces the first run.
+        assert fresh.to_json() == first.to_json()
+        # The warm rerun kept the backend's state: services are longer.
+        assert second.to_json() != first.to_json()
+        assert second.shard_stats[0].busy_s > first.shard_stats[0].busy_s
+
+    def test_from_registry_rebuilds_cleanly(self):
+        g, model = setup()
+        runs = []
+        for _ in range(2):
+            engine = ServingEngine.from_registry(
+                "cpu-32t", model, g, num_shards=2,
+                backend_kwargs={"functional": False})
+            runs.append(engine.run(g, window_s=3600.0, speedup=2.0,
+                                   num_streams=2).to_json())
+        assert runs[0] == runs[1]
+
+
+class TestPoolServersReport:
+    def test_pool_replica_count_is_top_level(self):
+        from repro.pipeline import LinearCostBackend
+        g = wikipedia_like(num_edges=300, num_users=40, num_items=10)
+        rep = ServingEngine([LinearCostBackend()], g.num_nodes,
+                            topology="pool", pool_servers=4).run(
+            g, window_s=3600.0, num_streams=2)
+        assert rep.pool_servers == 4
+        assert rep.pool_servers == rep.shard_stats[0].servers
+        assert rep.to_dict()["pool_servers"] == 4
+        assert b'"pool_servers": 4' in rep.to_json().encode()
+
+    def test_sharded_reports_one_server_per_shard(self):
+        g, model = setup()
+        rep = ServingEngine([modeled_backend(model, g)
+                             for _ in range(2)], g.num_nodes).run(
+            g, window_s=3600.0)
+        assert rep.pool_servers == 1
+
+
+# --------------------------------------------------------------------------- #
 class TestReplayWrapperRegressions:
     def test_single_window_stream_sane_utilization(self):
         """Regression: one-window streams divided busy time by 1e-12."""
