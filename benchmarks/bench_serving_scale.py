@@ -19,23 +19,32 @@ crossover: with overhead-dominated small windows the pool avoids paying the
 per-batch overhead once per shard per window and wins the tail; with
 marginal-cost-dominated big windows the sharded fork-join parallelism wins.
 
+`test_ingest_topology_matrix` is the unified-event-core three-way table
+(ISSUE 4): topology {sharded, pool, hybrid} x ingest {serial, pipelined}.
+Pipelined (double-buffered) ingest strictly lowers p95 on the
+batching-delay-dominated workload, and the hybrid hot/cold topology beats
+both pure topologies on the skewed head/tail workload.
+
 Run standalone (``pytest benchmarks/bench_serving_scale.py``) or with
 ``--smoke`` for a seconds-scale reduced sweep — the tier-1 suite invokes
-the smoke path to keep this harness from rotting.
+the smoke path (under a wall-clock budget that guards the event loop's
+per-event overhead) to keep this harness from rotting.
 """
 
 import numpy as np
 import pytest
 
 from repro.datasets import wikipedia_like
+from repro.graph import TemporalGraph
 from repro.models import ModelConfig, TGNN
 from repro.perf import CPU_32T
 from repro.pipeline import (LinearCostBackend, ModeledGPPBackend,
                             replay_under_load)
 from repro.profiling import count_ops
 from repro.reporting import render_table, save_result
-from repro.serving import (MEMSYNC_POLICIES, DynamicBatcher, ServingEngine,
-                           StaticHashPlacement, VertexHeat, make_policy)
+from repro.serving import (MEMSYNC_POLICIES, DynamicBatcher, HotColdHybrid,
+                           ServingEngine, StaticHashPlacement, VertexHeat,
+                           make_policy)
 
 pytestmark = pytest.mark.smoke
 
@@ -327,3 +336,156 @@ def test_memsync_staleness_overhead(capsys, smoke):
     with capsys.disabled():
         print(table)
     save_result("memsync_policies", table)
+
+
+# --------------------------------------------------------------------------- #
+def skewed_head_tail_graph(n_edges, n_hot=4, n_cold=400, hot_frac=0.6,
+                           seed=7):
+    """Hot head + long cold tail: ``n_hot`` vertices carry ``hot_frac`` of
+    the edges among themselves, 15% bridge head->tail, and the rest trickle
+    across ``n_cold`` cold vertices — the traffic shape where the pure
+    topologies each lose one regime and the hybrid placement keeps both."""
+    rng = np.random.default_rng(seed)
+    kind = rng.random(n_edges)
+    src = np.empty(n_edges, dtype=np.int64)
+    dst = np.empty(n_edges, dtype=np.int64)
+    hh = kind < hot_frac
+    hc = (kind >= hot_frac) & (kind < hot_frac + 0.15)
+    cc = ~hh & ~hc
+    src[hh] = rng.integers(0, n_hot, hh.sum())
+    dst[hh] = rng.integers(0, n_hot, hh.sum())
+    src[hc] = rng.integers(0, n_hot, hc.sum())
+    dst[hc] = rng.integers(n_hot, n_hot + n_cold, hc.sum())
+    src[cc] = rng.integers(n_hot, n_hot + n_cold, cc.sum())
+    dst[cc] = rng.integers(n_hot, n_hot + n_cold, cc.sum())
+    same = dst == src
+    dst[same] = (dst[same] + 1) % (n_hot + n_cold)
+    t = np.sort(rng.uniform(0, 1e4, n_edges))
+    return TemporalGraph(src=src, dst=dst, t=t, num_nodes=n_hot + n_cold)
+
+
+def test_ingest_topology_matrix(capsys, smoke):
+    """Three-way table (ISSUE 4): topology x ingest on the unified core.
+
+    Acceptance, all asserted below:
+
+    * pipelined (double-buffered) ingest strictly lowers p95 response vs
+      serial on the batching-delay-dominated workload, for every topology
+      — serial pays the flush deadline in front of service, pipelined
+      flushes the moment the fleet goes hungry;
+    * the hybrid topology beats both pure topologies (p95 and p99) on the
+      skewed hot-head/cold-tail workload — the hot bulk keeps fork-join
+      parallelism on dedicated shards while the cold tail drains through
+      the shared-queue pool instead of scattering per-window overhead and
+      mail duplication across every shard;
+    * ``--ingest serial`` byte-identity to the pre-event-core engine is
+      pinned by the golden-report CLI tests (tests/golden/); here we
+      assert run-to-run byte determinism of the serial reports.
+    """
+    if smoke:
+        n_edges, n_cold = 600, 200
+    else:
+        n_edges, n_cold = 2400, 400
+    graph = skewed_head_tail_graph(n_edges, n_cold=n_cold)
+    heat = VertexHeat.from_graph(graph)
+    per_edge_s, overhead_s = 4e-3, 8e-3
+    hot_shards, pool_replicas, fleet = 2, 2, 4    # equal station budget
+
+    def build(topology):
+        if topology == "sharded":
+            return ServingEngine(
+                [DeterministicBackend(per_edge_s, overhead_s)
+                 for _ in range(fleet)], graph.num_nodes)
+        if topology == "pool":
+            return ServingEngine(
+                [DeterministicBackend(per_edge_s, overhead_s)],
+                graph.num_nodes, topology="pool", pool_servers=fleet)
+        placement = HotColdHybrid(hot_top_k=4).place(heat, hot_shards + 1)
+        return ServingEngine(
+            [DeterministicBackend(per_edge_s, overhead_s)
+             for _ in range(hot_shards + 1)],
+            graph.num_nodes, placement=placement, topology="hybrid",
+            pool_servers=pool_replicas)
+
+    def build_batched(topology, deadline_s):
+        engine = build(topology)
+        engine.batcher = DynamicBatcher(max_delay_s=deadline_s)
+        return engine
+
+    rows, reps = [], {}
+    # --- workload A: batching-delay-dominated (deadline flush, light load)
+    deadline_s = 2.0
+    for topology in ("sharded", "pool", "hybrid"):
+        for ingest in ("serial", "pipelined"):
+            rep = build_batched(topology, deadline_s).run(
+                graph, window_s=300.0, speedup=10.0, num_streams=2,
+                ingest=ingest)
+            reps[("batch-delay", topology, ingest)] = rep
+            rows.append({
+                "workload": "batch-delay", "topology": topology,
+                "ingest": ingest,
+                "p95_ms": rep.p95_response_s * 1e3,
+                "p99_ms": rep.p99_response_s * 1e3,
+                "max_util_pct": 100 * max(s.utilization
+                                          for s in rep.shard_stats),
+                "stable": rep.stable,
+            })
+    # --- workload B: skewed head/tail (passthrough ingest trade-off table)
+    for topology in ("sharded", "pool", "hybrid"):
+        for ingest in ("serial", "pipelined"):
+            rep = build(topology).run(graph, window_s=300.0, speedup=40.0,
+                                      num_streams=4, ingest=ingest)
+            reps[("skewed", topology, ingest)] = rep
+            rows.append({
+                "workload": "skewed", "topology": topology,
+                "ingest": ingest,
+                "p95_ms": rep.p95_response_s * 1e3,
+                "p99_ms": rep.p99_response_s * 1e3,
+                "max_util_pct": 100 * max(s.utilization
+                                          for s in rep.shard_stats),
+                "stable": rep.stable,
+            })
+
+    table = render_table(
+        rows, precision=3,
+        title=f"Ingest x topology — unified event core "
+              f"({'smoke' if smoke else 'full'})")
+
+    # Acceptance: pipelined ingest strictly lowers p95 where batching
+    # delay dominates, for every topology; no windows are lost to it.
+    for topology in ("sharded", "pool", "hybrid"):
+        serial = reps[("batch-delay", topology, "serial")]
+        pipelined = reps[("batch-delay", topology, "pipelined")]
+        assert pipelined.p95_response_s < serial.p95_response_s
+        assert serial.p95_response_s > deadline_s      # pays the deadline
+        assert pipelined.p95_response_s < deadline_s   # hides it
+        assert pipelined.windows == serial.windows
+
+    # Acceptance: hybrid beats both pure topologies on the skewed workload.
+    sharded = reps[("skewed", "sharded", "serial")]
+    pool = reps[("skewed", "pool", "serial")]
+    hybrid = reps[("skewed", "hybrid", "serial")]
+    assert sharded.stable and pool.stable and hybrid.stable
+    assert hybrid.p95_response_s < sharded.p95_response_s
+    assert hybrid.p95_response_s < pool.p95_response_s
+    assert hybrid.p99_response_s < sharded.p99_response_s
+    assert hybrid.p99_response_s < pool.p99_response_s
+
+    # Serial reports stay byte-deterministic run to run (the golden CLI
+    # tests additionally pin them byte-identical to the PR 3 engine).
+    again = build(  # fresh engine, same arguments
+        "hybrid").run(graph, window_s=300.0, speedup=40.0, num_streams=4)
+    assert again.to_json() == hybrid.to_json()
+
+    table += (f"\npipelined hides the {deadline_s:.0f} s deadline: e.g. "
+              f"sharded p95 "
+              f"{reps[('batch-delay', 'sharded', 'serial')].p95_response_s:.2f}"
+              f" s -> "
+              f"{reps[('batch-delay', 'sharded', 'pipelined')].p95_response_s:.3f}"
+              f" s; skewed workload: hybrid p99 "
+              f"{hybrid.p99_response_s * 1e3:.1f} ms < sharded "
+              f"{sharded.p99_response_s * 1e3:.1f} ms and pool "
+              f"{pool.p99_response_s * 1e3:.1f} ms")
+    with capsys.disabled():
+        print(table)
+    save_result("ingest_topology", table)

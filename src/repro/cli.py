@@ -11,13 +11,17 @@ Commands
 ``dse``     design-space sweep + Pareto frontier for a platform.
 ``trace``   simulate a few batches with tracing and print the ASCII Gantt
             chart + per-stage utilization.
-``serve-sim``  multi-stream serving simulation: N shards (or a shared-queue
-            pool of N replicas) x M streams through a named backend, with
-            dynamic batching, placement policies
+``serve-sim``  multi-stream serving simulation on the discrete-event core:
+            N shards, a shared-queue pool of N replicas, or the hybrid
+            hot/cold topology (``--topology sharded|pool|hybrid``) x M
+            streams through a named backend, with dynamic batching and
+            serial or double-buffered ingest
+            (``--ingest serial|pipelined``), placement policies
             (``--placement hash|rebalance|replicate``), cross-shard
             memory sync policies (``--memsync none|invalidate|push``),
             and per-shard queueing statistics; ``--json`` writes a
-            canonical (byte-stable) report.
+            canonical (byte-stable) report, and ``--ingest serial`` is
+            byte-identical to the pre-event-core engine.
 
 Every command is a plain function taking parsed args, so tests invoke them
 without subprocesses.
@@ -111,10 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "first and migrates hot vertices off overloaded "
                         "shards")
     v.add_argument("--topology", default="sharded",
-                   choices=["sharded", "pool"],
-                   help="partitioned shards with dedicated queues, or a "
-                        "pool of stateless replicas behind one shared "
-                        "queue")
+                   choices=["sharded", "pool", "hybrid"],
+                   help="partitioned shards with dedicated queues; a pool "
+                        "of stateless replicas behind one shared queue; or "
+                        "hybrid — the measured hot head on dedicated "
+                        "shards and the cold tail drained by a shared-"
+                        "queue pool, in one event loop")
+    v.add_argument("--ingest", default="serial",
+                   choices=["serial", "pipelined"],
+                   help="ingest tier: 'serial' serializes batching delay "
+                        "in front of service (byte-identical to the pre-"
+                        "event-core engine); 'pipelined' double-buffers "
+                        "the ingest so the batcher flushes the moment the "
+                        "fleet goes hungry and batching delay hides "
+                        "behind in-flight compute")
+    v.add_argument("--hot-top-k", type=int, default=16,
+                   help="hybrid: how many of the hottest vertices (by "
+                        "measured heat) go to the dedicated shards")
+    v.add_argument("--pool-servers", type=int, default=None,
+                   help="replica count behind the shared queue (pool and "
+                        "hybrid; defaults to --shards)")
     from .serving.memsync import MEMSYNC_POLICIES
     v.add_argument("--memsync", default="none",
                    choices=list(MEMSYNC_POLICIES),
@@ -321,9 +341,15 @@ def cmd_serve_sim(args, out=print) -> int:
         kwargs = {}
         if placement is not None:
             kwargs["placement"] = placement
-        if args.topology == "sharded":
+        if args.topology in ("sharded", "hybrid"):
             kwargs["memsync"] = args.memsync
-        if fpga_design is not None and args.topology == "sharded":
+        if args.topology == "hybrid":
+            kwargs["hot_top_k"] = args.hot_top_k
+        if args.topology in ("pool", "hybrid") \
+                and args.pool_servers is not None:
+            kwargs["pool_servers"] = args.pool_servers
+        if fpga_design is not None and args.topology in ("sharded",
+                                                         "hybrid"):
             kwargs["die_of"] = die_of
             kwargs["mail_hop_s"] = \
                 fpga_design.die_crossing_cycles * fpga_design.clock_s
@@ -335,12 +361,18 @@ def cmd_serve_sim(args, out=print) -> int:
     def run(engine):
         return engine.run(graph, window_s=args.window_s,
                           speedup=args.speedup, num_streams=args.streams,
-                          queue_capacity=args.queue_capacity)
+                          queue_capacity=args.queue_capacity,
+                          ingest=args.ingest)
 
     def plan_dies(placement):
-        if fpga_design is None or args.topology != "sharded":
+        if fpga_design is None or args.topology == "pool":
             return None
         dies = fpga_design.platform.dies
+        if args.topology == "hybrid":
+            # The cold-tail pool is one more station on the floorplan (the
+            # placement's last pseudo-shard).
+            from .hw import plan_shard_dies
+            return plan_shard_dies(args.shards + 1, dies)
         # Branch on whether the placement actually changed anything — a
         # rebalance *profiling* pass is still the hash partition and must
         # be priced exactly as `--placement hash` would deploy.
@@ -357,7 +389,14 @@ def cmd_serve_sim(args, out=print) -> int:
             placement.mail_matrix(graph.src, graph.dst), dies)
 
     placement = None
-    if args.topology == "sharded":
+    if args.topology == "hybrid":
+        # Placement is built inside the engine (HotColdHybrid from the
+        # graph's measured heat); --placement only applies to sharded.
+        if args.placement != "hash":
+            out(f"note: --placement {args.placement} is ignored in hybrid "
+                f"topology (the hot/cold split comes from the measured "
+                f"traffic profile)")
+    elif args.topology == "sharded":
         heat = VertexHeat.from_graph(graph)
         if args.placement == "rebalance":
             policy = make_policy("rebalance",
@@ -393,11 +432,17 @@ def cmd_serve_sim(args, out=print) -> int:
     if args.topology == "pool":
         label = (f"serve-sim: pool of {report.pool_servers} "
                  f"replica(s) x {report.num_streams} stream(s)")
+    elif args.topology == "hybrid":
+        label = (f"serve-sim: {report.num_shards - 1} hot shard(s) + pool "
+                 f"of {report.pool_servers} replica(s) x "
+                 f"{report.num_streams} stream(s)")
     else:
         label = (f"serve-sim: {report.num_shards} shard(s) x "
                  f"{report.num_streams} stream(s)")
+    ingest_tag = "" if report.ingest == "serial" \
+        else f" [ingest {report.ingest}]"
     out(f"{label} @ {report.speedup:g}x load on {args.backend} "
-        f"[placement {report.placement}]")
+        f"[placement {report.placement}]{ingest_tag}")
     for s in report.shard_stats:
         out(f"  shard {s.shard}: util {s.utilization * 100:6.2f}%  "
             f"jobs {s.jobs}  edges {s.edges} (mail {s.mail_in_edges})  "

@@ -7,19 +7,19 @@ replays a stream's real window arrival process against a backend's service
 times and reports waiting/response statistics and utilization — the number
 an SLO is actually written against.
 
-The event loop itself now lives in :mod:`repro.serving.simulator`, which
-generalizes it to K servers; :func:`replay_under_load` is the single-server
-compatibility wrapper.  Two long-standing accounting bugs are fixed by the
-move:
+There is exactly **one** queue implementation in the repo: the discrete-
+event core in :mod:`repro.serving.events`.  :func:`replay_under_load` is
+the single-server compatibility wrapper over it, and the arrival process
+itself comes from :func:`repro.serving.make_stream_arrivals` with one
+stream — the same window-close arrival assembly the multi-stream serving
+engine uses, so the two paths cannot drift apart.
 
-* utilization used to divide busy time by the *last arrival* instant,
-  ignoring service that extends past it (reporting > 1 for stable systems,
-  and dividing by ~0 for single-window streams).  It now divides by the
-  makespan through the last completion and is bounded by 1; stability is
-  judged by ``offered_load`` instead.
-* ``queue_capacity`` used to count the in-service window against the
-  buffer (drops began one window early).  Capacity now bounds *waiting*
-  windows only.
+Accounting contracts inherited from the shared core:
+
+* utilization divides busy time by the makespan through the last
+  completion and is bounded by 1; stability is judged by ``offered_load``.
+* ``queue_capacity`` bounds *waiting* windows only; the in-service window
+  does not count against the ingest buffer.
 
 Works with any engine backend (simulated FPGA, modeled GPP, measured
 software): service time is whatever ``process_batch`` reports.
@@ -29,8 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..graph.batching import iter_time_windows
 from ..graph.temporal_graph import TemporalGraph
+from ..serving.engine import make_stream_arrivals
 from ..serving.simulator import simulate_queue
 
 __all__ = ["QueueStats", "replay_under_load"]
@@ -67,23 +67,16 @@ def replay_under_load(backend, graph: TemporalGraph, window_s: float,
     ``queue_capacity`` (optional) drops arrivals when the backlog is full,
     modelling a bounded ingest buffer.
 
-    Thin wrapper over :func:`repro.serving.simulate_queue` with one server;
-    use :class:`repro.serving.ServingEngine` for multi-shard/multi-stream
-    deployments.
+    Thin wrapper over the shared event core: one stream's window-close
+    arrivals (:func:`repro.serving.make_stream_arrivals`) through one
+    server (:func:`repro.serving.simulate_queue`); use
+    :class:`repro.serving.ServingEngine` for multi-shard / multi-stream /
+    pooled / hybrid deployments.
     """
-    if window_s <= 0 or speedup <= 0:
-        raise ValueError("window_s and speedup must be positive")
-    arrivals: list[tuple[float, object]] = []
-    t0 = None
-    for batch in iter_time_windows(graph, window_s, start=start, end=end):
-        t_arrive = (batch.t[-1]) / speedup   # window closes at its last edge
-        if t0 is None:
-            t0 = t_arrive
-        arrivals.append((t_arrive - t0, batch))
-    if not arrivals:
-        raise ValueError("no windows in the requested range")
-
-    res = simulate_queue(arrivals, backend.process_batch, num_servers=1,
+    arrivals = make_stream_arrivals(graph, window_s, num_streams=1,
+                                    start=start, end=end, speedup=speedup)
+    res = simulate_queue([(a.t, a.batch) for a in arrivals],
+                         backend.process_batch, num_servers=1,
                          queue_capacity=queue_capacity)
     return QueueStats(windows=res.jobs,
                       utilization=res.utilization,

@@ -1,23 +1,67 @@
-"""Sharded / pooled multi-stream serving layer in front of the engine backends.
+"""Serving-layer architecture: one discrete-event core, three topologies.
 
 The ``pipeline`` package answers "how fast is one batch on one idle
-device"; this package answers the production question: how does a fleet of
-shards behave when many streams hit it at once.  Components:
+device"; this package answers the production question: how does a fleet
+behave when many streams hit it at once.  Since the unified-core refactor,
+every composition runs on **one heap-driven event scheduler**
+(:mod:`repro.serving.events`) — ingest, routing, shard compute, mailbox,
+and memory-sync traffic advance on a single clock, the software analogue
+of the paper's dataflow pipeline overlapping sampling, memory update, and
+attention on the FPGA.
 
-* :class:`ShardRouter` — partitions vertex state over N shards according to
-  a :class:`Placement`, with cross-shard edges resolved through a
-  :class:`CrossShardMailbox`;
-* :class:`DynamicBatcher` — size- or deadline-triggered coalescing of
-  arrivals across streams;
-* :func:`simulate_queue` — event-driven multi-server FIFO queue simulation
-  (validated against closed-form M/M/1 and M/M/c in the tier-2 queueing
-  tests);
-* :class:`BackendRegistry` — backends constructed by name, pluggable per
-  shard;
-* :class:`ServingEngine` — the composition, reporting per-shard
-  utilization/wait/p95/p99/drops and end-to-end window response times, in
-  either topology (``sharded`` fork-join shards, or ``pool`` — K stateless
-  replicas behind one shared queue).
+Actors on the scheduler
+-----------------------
+* :class:`BatcherActor` — the :class:`DynamicBatcher` policy run online:
+  size/deadline flush triggers, plus the double-buffered drain trigger
+  under pipelined ingest;
+* :class:`RouterActor` — the fork point: a released job is split across
+  dedicated shards (:class:`ShardRouter` + :class:`Placement`), handed
+  whole to a replica pool, or both (hybrid); mail and sync traffic is
+  recorded at the event time it occurs;
+* :class:`ServerGroup` — a FIFO station of N identical servers: a
+  dedicated shard is a 1-server group, a replica pool a K-server group;
+  its statistics reproduce the historical standalone queue loop exactly;
+* :class:`CrossShardMailbox` / :class:`VersionedMemoryCache` — the traffic
+  and coherence components the router drives, in release order.
+
+Typed events: ``ArrivalEvent``, ``FlushEvent``, ``ServiceBeginEvent``,
+``ServiceEndEvent``, ``MailEvent``, ``SyncEvent``.  At equal timestamps
+events fire in a fixed priority order (ends → dispatches → flushes →
+arrivals), so runs are exactly reproducible; the scheduler enforces global
+timestamp monotonicity, and the conservation invariants (every admitted
+job served exactly once, per-server busy intervals never overlap) are
+property-tested over randomized traces.
+
+Topology × ingest matrix (:class:`ServingEngine`)
+-------------------------------------------------
+=============  =======================================================
+``sharded``    partitioned shards, dedicated FIFO queues, fork-join
+               window completion; placement policies apply
+``pool``       K stateless replicas behind one shared queue; no
+               partition, no mail, ``replication_factor == 1``
+``hybrid``     measured-traffic hot head on dedicated shards
+               (:class:`HotColdHybrid`), cold tail drained by a
+               shared-queue pool — both regimes in one event loop,
+               cross-regime edges ride the ordinary mailbox
+=============  =======================================================
+
+Each topology runs under either ingest mode: ``serial`` (batching delay
+serializes in front of service — byte-identical to the pre-event-core
+engine, pinned by golden tests) or ``pipelined`` (double-buffered ingest —
+the buffer flushes the moment the fleet goes hungry, so batching delay is
+paid only while it hides behind in-flight compute).
+
+The single-queue façade :func:`simulate_queue` (validated against
+closed-form M/M/1, M/M/c, and the Kingman/Allen–Cunneen G/G/c
+approximation in the tier-2 queueing tests) and
+:func:`repro.pipeline.replay_under_load` are thin wrappers over the same
+core — there is exactly one queue implementation in the repo.
+
+ROADMAP items this unblocks: **async ingest** (``ingest="pipelined"``) and
+**hybrid topology** are done here; **online rebalancing** (mid-run
+migration with state handoff priced through the mailbox) now has the
+event-time substrate it was blocked on — a placement change is just
+another event actors can react to.
 
 Placement-policy protocol
 -------------------------
@@ -31,13 +75,15 @@ profiling run).  The returned :class:`Placement` names a primary owner per
 vertex plus optional replica shards; the router delivers every incident
 edge to every holder, so replica state is exact.  Built-ins:
 
-* :class:`StaticHashPlacement` (``"hash"``) — PR 1's multiplicative hash;
+* :class:`StaticHashPlacement` (``"hash"``) — static multiplicative hash;
 * :class:`LoadAwareRebalance` (``"rebalance"``) — profile-guided migration
   of the hottest vertices off shards above a utilization threshold;
 * :class:`ReplicatedReadMostly` (``"replicate"``) — replicates high-fanout
-  read-mostly vertices; the maintenance cost surfaces as
-  ``ServingReport.replication_factor`` (one count per replica per incident
-  edge).
+  read-mostly vertices; cost surfaces as
+  ``ServingReport.replication_factor``;
+* :class:`HotColdHybrid` — hot head over dedicated shards, cold tail on
+  the pool pseudo-shard (hybrid topology only; not in
+  :data:`PLACEMENT_POLICIES`).
 
 Register new policies in :data:`PLACEMENT_POLICIES` (name -> class); the
 ``serve-sim`` CLI and ``bench_serving_scale`` sweep whatever is there.
@@ -61,12 +107,16 @@ non-held endpoints is a policy (:mod:`repro.serving.memsync`):
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
 from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
                      make_stream_arrivals)
+from .events import (INGEST_MODES, ArrivalEvent, BatcherActor,  # noqa: F401
+                     EventScheduler, FlushEvent, MailEvent, RouterActor,
+                     ServerGroup, ServiceBeginEvent, ServiceEndEvent,
+                     Submission, SyncEvent)
 from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
                       VersionedMemoryCache)
-from .placement import (PLACEMENT_POLICIES, LoadAwareRebalance,  # noqa: F401
-                        Placement, PlacementPolicy, ReplicatedReadMostly,
-                        StaticHashPlacement, VertexHeat, hash_assignment,
-                        make_policy)
+from .placement import (PLACEMENT_POLICIES, HotColdHybrid,  # noqa: F401
+                        LoadAwareRebalance, Placement, PlacementPolicy,
+                        ReplicatedReadMostly, StaticHashPlacement,
+                        VertexHeat, hash_assignment, make_policy)
 from .registry import DEFAULT_REGISTRY, BackendRegistry  # noqa: F401
 from .router import CrossShardMailbox, ShardBatch, ShardRouter  # noqa: F401
 from .simulator import (ServedJob, SimulationResult,  # noqa: F401
@@ -77,9 +127,13 @@ __all__ = [
     "ShardRouter", "ShardBatch", "CrossShardMailbox",
     "DynamicBatcher", "CoalescedJob", "StreamArrival",
     "simulate_queue", "SimulationResult", "ServedJob",
+    "EventScheduler", "ServerGroup", "BatcherActor", "RouterActor",
+    "Submission", "INGEST_MODES",
+    "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
+    "MailEvent", "SyncEvent",
     "BackendRegistry", "DEFAULT_REGISTRY",
     "Placement", "PlacementPolicy", "VertexHeat", "hash_assignment",
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
-    "PLACEMENT_POLICIES", "make_policy",
+    "HotColdHybrid", "PLACEMENT_POLICIES", "make_policy",
     "MEMSYNC_POLICIES", "VersionedMemoryCache", "ShardedRuntime",
 ]

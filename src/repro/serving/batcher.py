@@ -10,6 +10,14 @@ by *deadline* (the oldest buffered arrival has waited ``max_delay_s``),
 whichever comes first.  ``max_delay_s = 0`` degenerates to the paper's
 1:1 window-to-batch mapping, which is what the shard-equivalence tests pin
 against the single-server replay.
+
+This class is the *policy* (trigger configuration) plus the offline
+reference implementation.  The serving engine runs the same policy online
+as a :class:`~repro.serving.events.BatcherActor` on the discrete-event
+scheduler — under serial ingest the actor's releases match
+:meth:`coalesce` exactly (property-tested in ``test_events``), and under
+pipelined ingest the actor adds the double-buffered fleet-drain trigger
+that an offline pass cannot express (it depends on in-flight compute).
 """
 
 from __future__ import annotations

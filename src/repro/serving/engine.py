@@ -1,10 +1,12 @@
-"""Sharded / pooled multi-stream serving engine.
+"""Sharded / pooled / hybrid multi-stream serving on one event loop.
 
 This is the production-deployment composition the single-device replay in
 ``pipeline/`` cannot express: many concurrent edge streams hit an ingest
 tier, a :class:`~repro.serving.batcher.DynamicBatcher` coalesces their
 windows under a latency deadline, and the released jobs are served by one
-of two **topologies**:
+of three **topologies** — all driven by the single discrete-event
+scheduler in :mod:`repro.serving.events`, so ingest, routing, shard
+compute, and cross-shard traffic advance on one clock and can overlap:
 
 ``sharded`` (default)
     A :class:`~repro.serving.router.ShardRouter` splits each job across
@@ -15,13 +17,30 @@ of two **topologies**:
     is fork-join: it completes when the *last* involved shard finishes.
 
 ``pool``
-    K stateless replicas behind **one shared queue**
-    (:func:`~repro.serving.simulator.simulate_queue` with ``servers=K``).
-    Jobs are not split: any free replica serves the whole job against the
-    shared state store, so nothing is forwarded, every edge is processed
-    once, and no replica idles while another has a backlog.  The price is
-    that a job gets no intra-job parallelism — the classic
-    pooling-vs-partitioning trade the benchmark sweeps.
+    K stateless replicas behind **one shared queue** (a K-server
+    :class:`~repro.serving.events.ServerGroup`).  Jobs are not split: any
+    free replica serves the whole job against the shared state store, so
+    nothing is forwarded, every edge is processed once, and no replica
+    idles while another has a backlog.  The price is that a job gets no
+    intra-job parallelism — the classic pooling-vs-partitioning trade the
+    benchmark sweeps.
+
+``hybrid``
+    Both regimes in one loop: the measured-traffic hot head
+    (:class:`~repro.serving.placement.HotColdHybrid`) lives on dedicated
+    shards, and the cold tail drains through a shared-queue pool — the
+    pool is the placement's last pseudo-shard, served by a K-server group.
+    Cross-regime edges ride the same mailbox (and the same ``mail_hop_s``
+    die pricing) as shard-to-shard mail, at the event times they occur.
+
+**Ingest modes** (``run(..., ingest=...)``): ``"serial"`` releases jobs
+exactly like the historical offline batcher — batching delay serializes in
+front of queueing and service, and reports are byte-identical to the
+pre-event-core engine (the golden-test contract).  ``"pipelined"``
+double-buffers the ingest tier: while the fleet serves window *n* the
+batcher accumulates window *n+1*, and the moment the fleet goes hungry the
+buffer flushes — batching delay is paid only where it hides behind
+in-flight compute.
 
 Workload model: each stream replays the graph's own window arrival
 process, phase-shifted by a fraction of a window, so ``num_streams = S``
@@ -43,16 +62,17 @@ import numpy as np
 from ..graph.batching import iter_time_windows
 from ..graph.temporal_graph import TemporalGraph
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
+from .events import (INGEST_MODES, BatcherActor, EventScheduler, RouterActor,
+                     ServerGroup, SimulationResult, Submission)
 from .memsync import MEMSYNC_POLICIES, VersionedMemoryCache
-from .placement import Placement
+from .placement import HotColdHybrid, Placement, VertexHeat
 from .registry import DEFAULT_REGISTRY, BackendRegistry
 from .router import CrossShardMailbox, ShardRouter
-from .simulator import SimulationResult, simulate_queue
 
 __all__ = ["ShardStats", "ServingReport", "ServingEngine",
            "make_stream_arrivals"]
 
-TOPOLOGIES = ("sharded", "pool")
+TOPOLOGIES = ("sharded", "pool", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -61,6 +81,7 @@ class ShardStats:
 
     In pool topology there is a single entry describing the shared queue;
     ``servers`` is the replica count (always 1 for partitioned shards).
+    In hybrid topology the last entry is the cold-tail pool.
     """
 
     shard: int
@@ -87,7 +108,7 @@ class ShardStats:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """End-to-end outcome of a multi-stream replay (sharded or pooled)."""
+    """End-to-end outcome of a multi-stream replay (any topology)."""
 
     num_shards: int
     num_streams: int
@@ -115,6 +136,7 @@ class ServingReport:
     stale_reads: int = 0        # reads served from a stale mirror (none)
     max_version_lag: int = 0    # worst version lag among those reads
     pool_servers: int = 1       # replicas behind the shared queue (pool)
+    ingest: str = "serial"      # ingest tier mode (serial | pipelined)
 
     @property
     def stable(self) -> bool:
@@ -157,6 +179,10 @@ class ServingReport:
                  served_edges=int(self.served_edges),
                  throughput_eps=float(self.throughput_eps),
                  replication_factor=float(self.replication_factor))
+        if d["ingest"] == "serial":
+            # Serial reports keep the pre-event-core schema byte-for-byte
+            # (the golden-test contract); only pipelined runs add the key.
+            del d["ingest"]
         return d
 
     def to_json(self) -> str:
@@ -200,7 +226,7 @@ def make_stream_arrivals(graph: TemporalGraph, window_s: float,
 
 
 class ServingEngine:
-    """Shard-parallel or pooled serving in front of engine backends.
+    """Shard-parallel, pooled, or hybrid serving in front of backends.
 
     Parameters
     ----------
@@ -208,7 +234,9 @@ class ServingEngine:
         Sharded topology: one backend per shard (engine protocol, each with
         its own runtime).  Pool topology: the timing replica — replicas are
         stateless, so one backend prices every job against the shared
-        state store (``pool_servers`` sets the replica count).
+        state store (``pool_servers`` sets the replica count).  Hybrid
+        topology: one backend per dedicated hot shard plus a final timing
+        backend for the cold-tail pool (``placement.num_shards`` entries).
     num_nodes:
         Vertex count, for the router's partition.
     batcher:
@@ -218,22 +246,27 @@ class ServingEngine:
         Mutually exclusive with ``placement``.
     placement:
         A :class:`~repro.serving.placement.Placement` from a placement
-        policy; the router is built from it.
+        policy; the router is built from it.  Required for hybrid (use
+        :class:`~repro.serving.placement.HotColdHybrid`, whose last
+        pseudo-shard is the pool; ``from_registry`` builds it from the
+        graph's measured heat).
     die_of:
         Optional shard -> die assignment (see
         :func:`repro.hw.plan_shard_dies` /
         :func:`repro.hw.plan_shard_dies_traffic_aware`).  With
         ``mail_hop_s`` it prices cross-die mailbox traffic into the
-        receiving shard's service time.
+        receiving shard's service time.  In hybrid topology the last entry
+        is the pool's die.
     mail_hop_s:
         Seconds added per forwarded edge that crosses a die boundary.
     topology:
-        ``"sharded"`` (default) or ``"pool"``.
+        ``"sharded"`` (default), ``"pool"``, or ``"hybrid"``.
     pool_servers:
-        Replica count behind the shared queue (pool topology only;
-        defaults to ``len(backends)``).
+        Replica count behind the shared queue (pool and hybrid topologies;
+        defaults to ``len(backends)`` for pool and to the dedicated-shard
+        count for hybrid).
     memsync:
-        Cross-shard memory sync policy (sharded topology):
+        Cross-shard memory sync policy (sharded and hybrid topologies):
         ``"none"`` (default, stale mirrors — staleness is still measured),
         ``"invalidate"`` (pull fresh rows on stale reads, priced as
         mailbox round-trips) or ``"push"`` (owner writes forward rows
@@ -265,8 +298,9 @@ class ServingEngine:
         if router is not None and placement is not None:
             raise ValueError("pass either router or placement, not both")
         if pool_servers is not None:
-            if topology != "pool":
-                raise ValueError("pool_servers requires topology='pool'")
+            if topology == "sharded":
+                raise ValueError(
+                    "pool_servers requires topology='pool' or 'hybrid'")
             if pool_servers <= 0:
                 raise ValueError("pool_servers must be positive")
         if topology == "pool":
@@ -280,15 +314,28 @@ class ServingEngine:
                 raise ValueError(
                     "pool topology has no partition: router, placement, "
                     "die_of, and mail_hop_s do not apply")
+        if topology == "hybrid":
+            if placement is None and router is None:
+                raise ValueError(
+                    "hybrid topology needs a placement whose last "
+                    "pseudo-shard is the pool (see HotColdHybrid)")
+            if len(backends) < 2:
+                raise ValueError(
+                    "hybrid topology needs at least one dedicated hot "
+                    "shard backend plus the pool timing backend")
         self.backends = list(backends)
         self.num_shards = len(self.backends)
         self.batcher = batcher or DynamicBatcher()
         self.topology = topology
-        self.pool_servers = int(pool_servers or len(self.backends))
+        if topology == "hybrid":
+            self.pool_servers = int(pool_servers or self.num_shards - 1)
+        else:
+            self.pool_servers = int(pool_servers or len(self.backends))
         if placement is not None:
             router = ShardRouter.from_placement(placement)
         self.router = router or ShardRouter(self.num_shards, num_nodes)
-        if topology == "sharded" and self.router.num_shards != self.num_shards:
+        if topology in ("sharded", "hybrid") \
+                and self.router.num_shards != self.num_shards:
             raise ValueError("router shard count must match backend count")
         if die_of is not None and len(die_of) != self.router.num_shards:
             raise ValueError("die_of must assign every shard")
@@ -302,6 +349,7 @@ class ServingEngine:
                       graph: TemporalGraph, num_shards: int | None = None,
                       registry: BackendRegistry = DEFAULT_REGISTRY,
                       backend_kwargs: dict | None = None,
+                      hot_top_k: int = 16,
                       **engine_kwargs) -> "ServingEngine":
         """Build an engine with backends constructed by name.
 
@@ -311,17 +359,36 @@ class ServingEngine:
         ``cpu-32t``).  Pool topology (``topology="pool"``): replicas are
         identical and stateless, so one timing backend is built and
         ``num_shards`` becomes the replica count behind the shared queue.
+        Hybrid topology (``topology="hybrid"``): ``num_shards`` dedicated
+        hot shards plus a cold-tail pool — the ``hot_top_k`` hottest
+        vertices by measured heat go to the dedicated shards
+        (:class:`~repro.serving.placement.HotColdHybrid`) and
+        ``pool_servers`` (default ``num_shards``) replicas drain the rest.
         """
         if num_shards is not None and num_shards <= 0:
             raise ValueError("num_shards must be positive")
         kwargs = backend_kwargs or {}
-        if engine_kwargs.get("topology") == "pool":
+        topology = engine_kwargs.get("topology")
+        if topology == "pool":
             if not isinstance(backend, str):
                 raise ValueError("pool topology takes one backend name "
                                  "(replicas are identical)")
             engine_kwargs.setdefault("pool_servers", num_shards or 1)
             backends = [registry.create(backend, model, graph, **kwargs)]
             return cls(backends, graph.num_nodes, **engine_kwargs)
+        if topology == "hybrid":
+            if not isinstance(backend, str):
+                raise ValueError("hybrid topology takes one backend name "
+                                 "(applied to hot shards and the pool)")
+            hot_shards = num_shards or 1
+            engine_kwargs.setdefault("pool_servers", hot_shards)
+            backends = registry.create_many(backend, hot_shards + 1,
+                                            model, graph, **kwargs)
+            heat = VertexHeat.from_graph(graph)
+            placement = HotColdHybrid(hot_top_k=hot_top_k).place(
+                heat, hot_shards + 1)
+            return cls(backends, graph.num_nodes, placement=placement,
+                       **engine_kwargs)
         if isinstance(backend, str):
             backends = registry.create_many(backend, num_shards or 1,
                                             model, graph, **kwargs)
@@ -360,8 +427,13 @@ class ServingEngine:
     def run(self, graph: TemporalGraph, window_s: float, start: int = 0,
             end: int | None = None, speedup: float = 1.0,
             num_streams: int = 1,
-            queue_capacity: int | None = None) -> ServingReport:
+            queue_capacity: int | None = None,
+            ingest: str = "serial") -> ServingReport:
         """Replay the multi-stream arrival process through the topology.
+
+        ``ingest="serial"`` serializes batching in front of service (the
+        byte-stable historical behavior); ``"pipelined"`` double-buffers
+        the ingest tier so the batching delay overlaps in-flight compute.
 
         Backends are stateful (engine protocol: functional vertex state may
         advance per batch), so a second ``run`` on the same engine continues
@@ -369,51 +441,111 @@ class ServingEngine:
         studies, but for independent, comparable replays build a fresh
         engine (``from_registry`` constructs fresh backends each call).
         """
+        if ingest not in INGEST_MODES:
+            raise ValueError(f"ingest must be one of {INGEST_MODES}")
         arrivals = make_stream_arrivals(graph, window_s,
                                         num_streams=num_streams, start=start,
                                         end=end, speedup=speedup)
-        jobs = self.batcher.coalesce(arrivals)
-        if self.topology == "pool":
-            return self._run_pool(arrivals, jobs, window_s, speedup,
-                                  num_streams, queue_capacity)
-        return self._run_sharded(arrivals, jobs, window_s, speedup,
-                                 num_streams, queue_capacity)
+        return self._run_events(arrivals, window_s, speedup, num_streams,
+                                queue_capacity, ingest)
 
     # ------------------------------------------------------------------ #
-    def _run_sharded(self, arrivals: list[StreamArrival],
-                     jobs: list[CoalescedJob], window_s: float,
-                     speedup: float, num_streams: int,
-                     queue_capacity: int | None) -> ServingReport:
-        mailbox = CrossShardMailbox(self.num_shards)
-        cache = VersionedMemoryCache(self.router.placement,
-                                     policy=self.memsync)
+    def _make_groups(self, sched: EventScheduler,
+                     queue_capacity: int | None) -> list[ServerGroup]:
+        """One server group per backend: dedicated shards are 1-server
+        groups; the pool (whole fleet, or the hybrid cold tail) is one
+        K-server group."""
+        if self.topology == "pool":
+            server_counts = [self.pool_servers]
+        elif self.topology == "hybrid":
+            server_counts = [1] * (self.num_shards - 1) + [self.pool_servers]
+        else:
+            server_counts = [1] * self.num_shards
+        groups = []
+        for gid, (n_srv, backend) in enumerate(zip(server_counts,
+                                                   self.backends)):
+            if self.topology == "pool":
+                def service(job, _backend=backend):
+                    return _backend.process_batch(job.batch)
+            else:
+                def service(payload, _backend=backend):
+                    _, sb, hops, sync_hops = payload
+                    return _backend.process_batch(sb.batch) \
+                        + self.mail_hop_s * (hops + sync_hops)
+            groups.append(ServerGroup(gid, n_srv, service, sched,
+                                      queue_capacity=queue_capacity))
+        return groups
 
-        # Split every released job across shards, running the memsync
-        # protocol in job-release (stream) order.  The cross-die mail and
-        # sync hop counts are computed once per sub-batch here and reused
-        # both for the service-time penalty and (if the sub-job is actually
-        # served) the traffic report.
+    def _run_events(self, arrivals: list[StreamArrival], window_s: float,
+                    speedup: float, num_streams: int,
+                    queue_capacity: int | None, ingest: str,
+                    trace: bool = False) -> ServingReport:
+        sched = EventScheduler(trace=trace)
+        groups = self._make_groups(sched, queue_capacity)
+        pooled = self.topology == "pool"
+        cache = None if pooled else \
+            VersionedMemoryCache(self.router.placement, policy=self.memsync)
+
+        jobs: list[CoalescedJob] = []
         per_shard: list[list[tuple[float, tuple]]] = \
-            [[] for _ in range(self.num_shards)]
-        for ji, job in enumerate(jobs):
+            [[] for _ in groups]
+
+        def route(job: CoalescedJob) -> list[Submission]:
+            ji = len(jobs)
+            jobs.append(job)
+            if pooled:
+                per_shard[0].append((job.t_release, job))
+                return [Submission(0, job)]
+            subs = []
             for sb in self.router.split(job.batch, cache=cache):
                 hops = self._cross_die_mail(sb.shard, sb.mail_from)
                 sync_hops = self._cross_die_sync(sb)
-                per_shard[sb.shard].append(
-                    (job.t_release, (ji, sb, hops, sync_hops)))
+                payload = (ji, sb, hops, sync_hops)
+                per_shard[sb.shard].append((job.t_release, payload))
+                mail = sync = ()
+                if sched.trace is not None:
+                    if sb.mail_edges:
+                        src = np.bincount(sb.mail_from)
+                        mail = tuple((int(f), sb.shard, int(n))
+                                     for f, n in enumerate(src) if n)
+                    sync = tuple(
+                        (int(o), sb.shard, int(n), kind)
+                        for rows, kind in ((sb.sync_pull, "pull"),
+                                           (sb.sync_push, "push"))
+                        if len(rows)
+                        for o, n in enumerate(np.bincount(
+                            self.router.assignment[rows])) if n)
+                subs.append(Submission(sb.shard, payload, mail, sync))
+            return subs
 
-        # Each shard is a dedicated single server over its own FIFO: shard
-        # state must advance in stream order, so jobs cannot be re-balanced.
-        shard_results: list[SimulationResult] = []
-        for shard, backend in enumerate(self.backends):
-            def service(payload, _backend=backend):
-                _, sb, hops, sync_hops = payload
-                return _backend.process_batch(sb.batch) \
-                    + self.mail_hop_s * (hops + sync_hops)
+        router_actor = RouterActor(sched, groups, route)
+        batcher = BatcherActor(self.batcher, sched, router_actor,
+                               ingest=ingest,
+                               fleet=groups if ingest == "pipelined" else ())
+        if ingest == "pipelined":
+            for g in groups:
+                g.on_hungry = batcher.on_hungry
+        batcher.start(arrivals)
+        sched.run()
+        # Exposed for the invariant tests: the full typed-event trace of
+        # the run (None unless trace=True — tracing costs memory).
+        self.last_event_trace = sched.trace
+        shard_results = [g.finalize() for g in groups]
 
-            shard_results.append(
-                simulate_queue(per_shard[shard], service, num_servers=1,
-                               queue_capacity=queue_capacity))
+        if pooled:
+            return self._pool_report(arrivals, jobs, shard_results[0],
+                                     window_s, speedup, num_streams, ingest)
+        return self._sharded_report(arrivals, jobs, per_shard, shard_results,
+                                    window_s, speedup, num_streams, ingest)
+
+    # ------------------------------------------------------------------ #
+    def _sharded_report(self, arrivals: list[StreamArrival],
+                        jobs: list[CoalescedJob],
+                        per_shard: list[list[tuple[float, tuple]]],
+                        shard_results: list[SimulationResult],
+                        window_s: float, speedup: float, num_streams: int,
+                        ingest: str) -> ServingReport:
+        mailbox = CrossShardMailbox(self.num_shards)
 
         # Resolve drops globally first: a window is dropped if *any*
         # shard's queue rejected its sub-job, and a dropped window's
@@ -463,6 +595,7 @@ class ServingEngine:
             for a in job.sources:
                 responses.append(finish_of_job[ji] - a.t)
 
+        hybrid = self.topology == "hybrid"
         stats = tuple(
             ShardStats(shard=s,
                        backend=getattr(self.backends[s], "name",
@@ -479,7 +612,8 @@ class ServingEngine:
                        p95_response_s=r.p95_response_s,
                        p99_response_s=r.p99_response_s,
                        max_queue_depth=r.max_queue_depth,
-                       dropped_jobs=r.dropped)
+                       dropped_jobs=r.dropped,
+                       servers=r.num_servers)
             for s, r in enumerate(shard_results))
 
         resp = np.asarray(responses)
@@ -500,19 +634,21 @@ class ServingEngine:
             cross_shard_edges=mailbox.total_edges,
             cross_die_mail_edges=cross_die_mail,
             shard_stats=stats,
-            topology="sharded",
+            topology=self.topology,
             placement=placement.policy,
             replicated_vertices=placement.replicated_vertices,
             memsync=self.memsync,
             sync_edges=sync_edges,
             stale_reads=stale_reads,
-            max_version_lag=max_version_lag)
+            max_version_lag=max_version_lag,
+            pool_servers=self.pool_servers if hybrid else 1,
+            ingest=ingest)
 
     # ------------------------------------------------------------------ #
-    def _run_pool(self, arrivals: list[StreamArrival],
-                  jobs: list[CoalescedJob], window_s: float,
-                  speedup: float, num_streams: int,
-                  queue_capacity: int | None) -> ServingReport:
+    def _pool_report(self, arrivals: list[StreamArrival],
+                     jobs: list[CoalescedJob], res: SimulationResult,
+                     window_s: float, speedup: float, num_streams: int,
+                     ingest: str) -> ServingReport:
         """K stateless replicas behind one shared FIFO queue.
 
         Jobs are never split: any free replica serves the whole job, so no
@@ -522,14 +658,6 @@ class ServingEngine:
         shared-state-store semantics replicas would see in deployment.
         """
         backend = self.backends[0]
-
-        def service(job: CoalescedJob) -> float:
-            return backend.process_batch(job.batch)
-
-        res = simulate_queue([(job.t_release, job) for job in jobs], service,
-                             num_servers=self.pool_servers,
-                             queue_capacity=queue_capacity)
-
         responses: list[float] = []
         edges_served = 0
         for sj in res.served:
@@ -575,4 +703,5 @@ class ServingEngine:
             topology="pool",
             placement="none",
             replicated_vertices=0,
-            pool_servers=self.pool_servers)
+            pool_servers=self.pool_servers,
+            ingest=ingest)

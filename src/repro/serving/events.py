@@ -1,0 +1,566 @@
+"""Discrete-event serving core: one scheduler, typed events, pluggable actors.
+
+Every serving composition in this package — single queue, partitioned
+shards, shared-queue pool, and the hybrid hot/cold topology — runs on the
+same heap-driven event loop.  The paper's accelerator overlaps sampling,
+memory update, and attention in a hardware dataflow pipeline; this module
+is the deployment-level analogue: ingest (batching), routing, shard
+compute, mailbox, and memory-sync traffic all advance on **one clock**, so
+stages can overlap instead of being modeled as independent batch
+simulations that cannot interact mid-run.
+
+Event types
+-----------
+:class:`ArrivalEvent`       a stream window reaches the ingest tier
+:class:`FlushEvent`         the batcher releases its pending buffer
+:class:`ServiceBeginEvent`  a server starts a job (trace)
+:class:`ServiceEndEvent`    a server finishes a job (frees the server)
+:class:`MailEvent`          cross-shard edge mail, at delivery time (trace)
+:class:`SyncEvent`          memory rows pulled/pushed between shards (trace)
+
+At equal timestamps events fire in a fixed priority order (service ends,
+then dispatches, then flushes, then arrivals) so that e.g. a deadline
+flush scheduled at ``t`` releases *before* an arrival at ``t`` is admitted
+— exactly the tie-breaking the offline :meth:`DynamicBatcher.coalesce`
+reference implements, which is what makes ``ingest="serial"`` replays
+byte-identical to the pre-event-core engine.
+
+Actors
+------
+:class:`ServerGroup`
+    A FIFO service station with ``num_servers`` identical servers sharing
+    one queue: a dedicated shard is a 1-server group, a replica pool is a
+    K-server group.  Its :meth:`finalize` produces the same
+    :class:`SimulationResult` (same formulas, same tie-breaking, same
+    ``service_fn`` call order) as the historical standalone queue loop —
+    :func:`repro.serving.simulate_queue` is now a thin façade over one
+    group, and the equivalence is property-tested against a reference
+    implementation in ``tests/unit/test_events.py``.
+:class:`BatcherActor`
+    :class:`~repro.serving.batcher.DynamicBatcher` run *online*: the same
+    size/deadline triggers, plus — under ``ingest="pipelined"`` — a
+    double-buffered drain trigger: while the fleet serves window *n* the
+    buffer accumulates window *n+1* for free, and the moment the fleet
+    goes hungry (an idle server with nothing queued) the buffer flushes
+    immediately.  Batching delay is paid only when it can hide behind
+    in-flight compute; on an idle fleet it is skipped entirely.
+:class:`RouterActor`
+    The fork point: a released job is routed to one or more server groups
+    (split across shards, handed whole to the pool, or both in the hybrid
+    topology), recording mail and sync traffic at the event times it
+    actually occurs.
+
+The mailbox (:class:`~repro.serving.router.CrossShardMailbox`) and memsync
+cache (:class:`~repro.serving.memsync.VersionedMemoryCache`) plug into the
+routing callback — they are driven in flush order, which the scheduler
+guarantees is release order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..graph.batching import merge_batches
+from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
+
+__all__ = [
+    "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
+    "MailEvent", "SyncEvent", "EventScheduler", "ServedJob",
+    "SimulationResult", "ServerGroup", "BatcherActor", "RouterActor",
+    "Submission", "INGEST_MODES",
+]
+
+INGEST_MODES = ("serial", "pipelined")
+
+# Priority of event kinds at equal timestamps (lower fires first).
+_END, _DISPATCH, _FLUSH, _ARRIVAL = range(4)
+
+
+# --------------------------------------------------------------------------- #
+# Typed events.  Heap-scheduled events drive handlers; trace-only events
+# (begin / mail / sync) document *when* something happened for the
+# conservation and ordering invariant tests.
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """A stream window reaches the ingest tier at time ``t``."""
+
+    t: float
+    arrival: Any
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """The batcher released its pending buffer (cause: ``deadline`` /
+    ``size`` / ``drain`` / ``eos``)."""
+
+    t: float
+    cause: str
+    windows: int
+
+
+@dataclass(frozen=True)
+class ServiceBeginEvent:
+    """Server ``server`` of group ``group`` begins job ``index``."""
+
+    t: float
+    group: int
+    server: int
+    index: int
+
+
+@dataclass(frozen=True)
+class ServiceEndEvent:
+    """Server ``server`` of group ``group`` finishes job ``index``."""
+
+    t: float
+    group: int
+    server: int
+    index: int
+
+
+@dataclass(frozen=True)
+class MailEvent:
+    """``edges`` forwarded from ``from_shard`` to ``to_shard`` at ``t``."""
+
+    t: float
+    from_shard: int
+    to_shard: int
+    edges: int
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """``rows`` memory rows moved ``owner -> shard`` (kind: pull/push)."""
+
+    t: float
+    owner: int
+    shard: int
+    rows: int
+    kind: str
+
+
+# --------------------------------------------------------------------------- #
+class EventScheduler:
+    """Heap-driven event loop with deterministic same-time ordering.
+
+    Entries order by ``(t, priority, seq)`` — seq is the monotonically
+    increasing schedule order, so equal ``(t, priority)`` events fire in
+    the order they were scheduled and runs are exactly reproducible.  The
+    loop asserts global timestamp monotonicity: an event firing before
+    ``now`` is a scheduler bug, not a recoverable condition.
+    """
+
+    def __init__(self, trace: bool = False):
+        self._heap: list = []
+        self._seq = 0
+        self._dead: set[int] = set()
+        self.now = -math.inf
+        self.events_processed = 0
+        self.trace: list | None = [] if trace else None
+
+    def schedule(self, t: float, priority: int, event,
+                 handler: Callable) -> int:
+        """Queue ``handler(event)`` at ``(t, priority)``; returns a token."""
+        if t < self.now:
+            raise RuntimeError(
+                f"cannot schedule an event at t={t} before now={self.now}")
+        token = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (t, priority, token, event, handler))
+        return token
+
+    def cancel(self, token: int) -> None:
+        """Mark a scheduled event dead; it is skipped when popped."""
+        self._dead.add(token)
+
+    def record(self, event) -> None:
+        """Append a trace-only event (begin / flush / mail / sync)."""
+        if self.trace is not None:
+            self.trace.append(event)
+
+    def run(self) -> None:
+        heap = self._heap
+        while heap:
+            t, _prio, token, event, handler = heapq.heappop(heap)
+            if token in self._dead:
+                self._dead.discard(token)
+                continue
+            if t < self.now:
+                raise RuntimeError(
+                    f"event fired out of timestamp order: t={t} < "
+                    f"now={self.now}")
+            self.now = t
+            self.events_processed += 1
+            if event is not None and self.trace is not None:
+                self.trace.append(event)
+            handler(event)
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServedJob:
+    """One admitted job's timeline through the queue."""
+
+    index: int          # position in the arrival sequence
+    t_arrive: float
+    t_begin: float
+    t_finish: float
+    service_s: float
+    server: int
+
+    @property
+    def wait_s(self) -> float:
+        return self.t_begin - self.t_arrive
+
+    @property
+    def response_s(self) -> float:
+        return self.t_finish - self.t_arrive
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a queue simulation, with aggregate statistics."""
+
+    served: tuple[ServedJob, ...]
+    dropped_indices: tuple[int, ...]
+    num_servers: int
+    busy_s: float
+    makespan_s: float       # first arrival -> last service completion
+    utilization: float      # busy / (num_servers * makespan), in [0, 1]
+    offered_load: float     # arrival rate * mean service / num_servers
+    max_queue_depth: int    # waiting jobs only (in-service excluded)
+
+    @property
+    def jobs(self) -> int:
+        return len(self.served)
+
+    @property
+    def dropped(self) -> int:
+        return len(self.dropped_indices)
+
+    @property
+    def stable(self) -> bool:
+        """A sustainable deployment keeps offered load below 1."""
+        return self.offered_load < 1.0
+
+    # ------------------------------------------------------------------ #
+    def waits(self) -> np.ndarray:
+        return np.array([j.wait_s for j in self.served])
+
+    def responses(self) -> np.ndarray:
+        return np.array([j.response_s for j in self.served])
+
+    @property
+    def mean_wait_s(self) -> float:
+        return float(self.waits().mean()) if self.served else 0.0
+
+    @property
+    def mean_response_s(self) -> float:
+        return float(self.responses().mean()) if self.served else 0.0
+
+    @property
+    def p95_response_s(self) -> float:
+        return float(np.percentile(self.responses(), 95)) if self.served \
+            else 0.0
+
+    @property
+    def p99_response_s(self) -> float:
+        return float(np.percentile(self.responses(), 99)) if self.served \
+            else 0.0
+
+
+# --------------------------------------------------------------------------- #
+class ServerGroup:
+    """A FIFO station of ``num_servers`` identical servers on the loop.
+
+    A dedicated shard is a 1-server group; a replica pool is a K-server
+    group.  ``service_fn`` is called once per *admitted* job at service
+    begin — FIFO dispatch makes begin order equal admission order, so
+    stateful backends see the stream exactly as the historical offline
+    queue loop presented it (the byte-identity contract).
+
+    Tie-breaking matches the historical loop bit-for-bit: when several
+    servers are idle (or free at the same instant) the job goes to the one
+    with the earliest ``(freed_at, server_id)``.  Same-time service ends
+    all land *before* the dispatch that assigns the freed servers, so the
+    winner is chosen over the full set, not by end-event order.
+    """
+
+    def __init__(self, gid: int, num_servers: int, service_fn: Callable,
+                 sched: EventScheduler, queue_capacity: int | None = None,
+                 on_hungry: Callable[[float], None] | None = None):
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if queue_capacity is not None and queue_capacity < 0:
+            raise ValueError("queue_capacity must be non-negative")
+        self.gid = int(gid)
+        self.num_servers = int(num_servers)
+        self._service_fn = service_fn
+        self._sched = sched
+        self._capacity = queue_capacity
+        # Idle servers as (freed_at, server_id); servers are born free at
+        # t=0 like the historical loop's ``free`` heap.
+        self._idle: list[tuple[float, int]] = [(0.0, s)
+                                               for s in range(num_servers)]
+        self._waiting: deque[int] = deque()
+        self._arrivals: list[tuple[float, Any]] = []
+        self._served: dict[int, ServedJob] = {}
+        self._dropped: list[int] = []
+        self._busy = 0.0
+        self._max_depth = 0
+        self._dispatch_pending = False
+        self.on_hungry = on_hungry
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hungry(self) -> bool:
+        """An idle server with nothing queued: batching gains nothing."""
+        return bool(self._idle) and not self._waiting
+
+    def submit(self, t: float, payload) -> None:
+        """Admit (or drop) a job arriving at the current event time."""
+        i = len(self._arrivals)
+        self._arrivals.append((t, payload))
+        if self._idle and not self._waiting:
+            self._begin(t, i)
+            return
+        # A full buffer only rejects jobs that would have to wait: with an
+        # idle server the job starts immediately and never occupies a slot
+        # (``queue_capacity=0`` is a bufferless loss system, not a server
+        # that drops everything).
+        if self._capacity is not None and len(self._waiting) >= self._capacity:
+            self._dropped.append(i)
+            return
+        self._waiting.append(i)
+        self._max_depth = max(self._max_depth, len(self._waiting))
+
+    # ------------------------------------------------------------------ #
+    def _begin(self, t: float, i: int) -> None:
+        t_arrive, payload = self._arrivals[i]
+        service = float(self._service_fn(payload))
+        if service < 0:
+            raise ValueError("service_fn returned a negative service time")
+        free_t, srv = heapq.heappop(self._idle)
+        begin = max(free_t, t_arrive)
+        finish = begin + service
+        self._busy += service
+        self._served[i] = ServedJob(index=i, t_arrive=t_arrive,
+                                    t_begin=begin, t_finish=finish,
+                                    service_s=service, server=srv)
+        self._sched.record(ServiceBeginEvent(begin, self.gid, srv, i))
+        self._sched.schedule(finish, _END,
+                             ServiceEndEvent(finish, self.gid, srv, i),
+                             self._on_end)
+
+    def _on_end(self, ev: ServiceEndEvent) -> None:
+        heapq.heappush(self._idle, (ev.t, ev.server))
+        if self._waiting:
+            # Defer the hand-off so every same-instant end lands in the
+            # idle heap first — the waiting job then picks the earliest
+            # ``(freed_at, server_id)``, the historical tie-break.
+            if not self._dispatch_pending:
+                self._dispatch_pending = True
+                self._sched.schedule(ev.t, _DISPATCH, None, self._dispatch)
+        elif self.on_hungry is not None:
+            self.on_hungry(ev.t)
+
+    def _dispatch(self, _event) -> None:
+        self._dispatch_pending = False
+        now = self._sched.now
+        while self._idle and self._waiting:
+            self._begin(now, self._waiting.popleft())
+        if self.on_hungry is not None and self.hungry:
+            self.on_hungry(now)
+
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> SimulationResult:
+        """Aggregate statistics — identical formulas to the historical
+        standalone queue loop (the byte-identity contract)."""
+        arr = self._arrivals
+        served = tuple(self._served[i] for i in sorted(self._served))
+        dropped = tuple(self._dropped)
+        if not served:
+            return SimulationResult(served=(), dropped_indices=dropped,
+                                    num_servers=self.num_servers, busy_s=0.0,
+                                    makespan_s=0.0, utilization=0.0,
+                                    offered_load=0.0,
+                                    max_queue_depth=self._max_depth)
+        t_first = arr[0][0]
+        makespan = max(max(j.t_finish for j in served) - t_first, 0.0)
+        utilization = self._busy / (self.num_servers * makespan) \
+            if makespan > 0 else (1.0 if self._busy > 0 else 0.0)
+        n = len(arr)
+        span = arr[-1][0] - t_first
+        mean_service = self._busy / len(served)
+        if n <= 1:
+            # One job is not an arrival process; it cannot overload.
+            offered = 0.0
+        elif span <= 0:
+            offered = float("inf")
+        else:
+            offered = ((n - 1) / span) * mean_service / self.num_servers
+        return SimulationResult(served=served, dropped_indices=dropped,
+                                num_servers=self.num_servers,
+                                busy_s=self._busy, makespan_s=makespan,
+                                utilization=utilization,
+                                offered_load=offered,
+                                max_queue_depth=self._max_depth)
+
+
+# --------------------------------------------------------------------------- #
+class BatcherActor:
+    """:class:`DynamicBatcher` run online on the event loop.
+
+    ``ingest="serial"`` reproduces :meth:`DynamicBatcher.coalesce` exactly
+    (same triggers, same release instants — property-tested), so replays
+    that predate the event core are byte-identical.  ``"pipelined"`` adds
+    the double-buffered drain trigger: the buffer flushes the moment every
+    fleet group is hungry (idle server, empty queue), so batching delay is
+    only ever paid while it hides behind in-flight compute.
+    """
+
+    def __init__(self, batcher: DynamicBatcher, sched: EventScheduler,
+                 sink: Callable[[CoalescedJob], None],
+                 ingest: str = "serial",
+                 fleet: Sequence[ServerGroup] = ()):
+        if ingest not in INGEST_MODES:
+            raise ValueError(f"ingest must be one of {INGEST_MODES}")
+        self.max_edges = batcher.max_edges
+        self.max_delay_s = batcher.max_delay_s
+        self.ingest = ingest
+        self._sched = sched
+        self._sink = sink
+        self._fleet = tuple(fleet)
+        self.pending: list[StreamArrival] = []
+        self.pending_edges = 0
+        self._deadline_token: int | None = None
+        self._expected = 0
+        self._admitted = 0
+        self.flushes = 0
+        self.drain_flushes = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self, arrivals: Sequence[StreamArrival]) -> None:
+        """Schedule the whole arrival trace onto the loop."""
+        if any(arrivals[i].t > arrivals[i + 1].t
+               for i in range(len(arrivals) - 1)):
+            raise ValueError("arrivals must be sorted by time")
+        self._expected = len(arrivals)
+        for a in arrivals:
+            self._sched.schedule(a.t, _ARRIVAL, ArrivalEvent(a.t, a),
+                                 self._on_arrival)
+
+    def _fleet_hungry(self) -> bool:
+        return all(g.hungry for g in self._fleet)
+
+    def on_hungry(self, t: float) -> None:
+        """Fleet-drain notification (wired to groups under pipelined)."""
+        if self.ingest == "pipelined" and self.pending \
+                and self._fleet_hungry():
+            self._flush(t, "drain")
+
+    # ------------------------------------------------------------------ #
+    def _on_arrival(self, ev: ArrivalEvent) -> None:
+        a = ev.arrival
+        self._admitted += 1
+        # Overflow guard: admitting this arrival would push the buffer past
+        # the size cap, so release the buffered job first (only a single
+        # oversized arrival can ever produce an oversized job).
+        if self.max_edges is not None and self.pending \
+                and self.pending_edges + len(a) > self.max_edges:
+            self._flush(ev.t, "size")
+        first = not self.pending
+        self.pending.append(a)
+        self.pending_edges += len(a)
+        if self.max_edges is not None and self.pending_edges >= self.max_edges:
+            self._flush(ev.t, "size")
+            return
+        if self.ingest == "pipelined" and self._fleet \
+                and self._fleet_hungry():
+            # Nothing in flight to hide the delay behind: release now.
+            self._flush(ev.t, "drain")
+            return
+        if self._admitted == self._expected \
+                and not math.isfinite(self.max_delay_s):
+            # End of stream with an unbounded deadline: the offline
+            # reference releases the tail at the last arrival instant.
+            self._flush(ev.t, "eos")
+            return
+        if first and math.isfinite(self.max_delay_s):
+            deadline = a.t + self.max_delay_s
+            self._deadline_token = self._sched.schedule(
+                deadline, _FLUSH, None, self._on_deadline)
+
+    def _on_deadline(self, _event) -> None:
+        self._deadline_token = None
+        if self.pending:
+            self._flush(self._sched.now, "deadline")
+
+    def _flush(self, t: float, cause: str) -> None:
+        if self._deadline_token is not None:
+            self._sched.cancel(self._deadline_token)
+            self._deadline_token = None
+        merged = merge_batches([a.batch for a in self.pending])
+        job = CoalescedJob(t_release=t, batch=merged,
+                           sources=tuple(self.pending))
+        self.pending = []
+        self.pending_edges = 0
+        self.flushes += 1
+        if cause == "drain":
+            self.drain_flushes += 1
+        self._sched.record(FlushEvent(t, cause, len(job.sources)))
+        self._sink(job)
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Submission:
+    """One routed slice of a released job, bound for a server group.
+
+    ``mail`` and ``sync`` carry the traffic this slice moved between
+    shards — ``(from_shard, to_shard, edges)`` and
+    ``(owner, to_shard, rows, kind)`` — recorded as :class:`MailEvent` /
+    :class:`SyncEvent` at the release instant when tracing is on.
+    """
+
+    group: int
+    payload: Any
+    mail: tuple = ()
+    sync: tuple = ()
+
+
+class RouterActor:
+    """Fork point: routes a released job onto one or more server groups.
+
+    ``route(job)`` returns the job's :class:`Submission` list — a split
+    across dedicated shards, the whole job for a pool, or a mix of both in
+    the hybrid topology.  Submissions land on their groups at the release
+    instant, and the mail/sync traffic they carry is recorded at that same
+    event time — cross-shard costs are priced when they occur, not
+    post-hoc.
+    """
+
+    def __init__(self, sched: EventScheduler, groups: Sequence[ServerGroup],
+                 route: Callable[[CoalescedJob], Sequence[Submission]]):
+        self._sched = sched
+        self._groups = list(groups)
+        self._route = route
+
+    def __call__(self, job: CoalescedJob) -> None:
+        t = job.t_release
+        for sub in self._route(job):
+            if self._sched.trace is not None:
+                for from_shard, to_shard, edges in sub.mail:
+                    self._sched.record(MailEvent(t, from_shard, to_shard,
+                                                 edges))
+                for owner, shard, rows, kind in sub.sync:
+                    self._sched.record(SyncEvent(t, owner, shard, rows,
+                                                 kind))
+            self._groups[sub.group].submit(t, sub.payload)

@@ -53,6 +53,7 @@ import numpy as np
 __all__ = [
     "VertexHeat", "Placement", "PlacementPolicy",
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
+    "HotColdHybrid",
     "PLACEMENT_POLICIES", "make_policy", "hash_assignment",
 ]
 
@@ -385,6 +386,63 @@ class ReplicatedReadMostly:
                 replicas[v] = extra
         return Placement(assignment=assignment, num_shards=num_shards,
                          replicas=replicas, policy=self.name)
+
+
+class HotColdHybrid:
+    """Hot head on dedicated shards, cold tail on the shared pool.
+
+    The crossover table in ``bench_serving_scale`` says partitioned shards
+    win marginal-cost-dominated traffic while a shared queue wins the
+    overhead-dominated regime — and a skewed stream contains *both*: a few
+    hot vertices carry the bulk of the edges (worth fork-join parallelism
+    and dedicated state locality) while a long cold tail trickles per-window
+    crumbs onto every shard it touches (worth pooling).  This policy makes
+    the two regimes coexist in one placement: the ``hot_top_k`` vertices by
+    measured heat are spread over ``num_shards - 1`` dedicated shards
+    (heaviest-first onto the least-loaded shard, so hot load balances), and
+    every cold vertex maps to the **pool pseudo-shard** — the last shard
+    index, which the engine's hybrid topology serves with K replicas behind
+    one shared queue instead of a dedicated server.
+
+    Routing falls out of the existing :class:`~repro.serving.router.\
+ShardRouter` semantics: hot↔hot edges behave exactly like today's sharded
+    topology, cold↔cold edges are local to the pool, and cross-regime edges
+    travel the same mailbox (priced per die crossing) in either direction.
+
+    Not registered in :data:`PLACEMENT_POLICIES`: the pool pseudo-shard
+    only means something to the hybrid topology, so the engine constructs
+    this policy when ``topology="hybrid"`` rather than letting
+    ``--placement`` pick it for a partitioned fleet.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, hot_top_k: int = 16):
+        if hot_top_k <= 0:
+            raise ValueError("hot_top_k must be positive")
+        self.hot_top_k = int(hot_top_k)
+
+    def place(self, heat: VertexHeat, num_shards: int,
+              profile: Sequence | None = None) -> Placement:
+        """``num_shards`` counts the pool pseudo-shard: the last index is
+        the pool, the first ``num_shards - 1`` are dedicated hot shards."""
+        if num_shards < 2:
+            raise ValueError(
+                "hybrid placement needs at least one dedicated hot shard "
+                "plus the pool pseudo-shard (num_shards >= 2)")
+        hot_shards = num_shards - 1
+        degree = heat.degree
+        # Stable hot-first order: by heat desc, vertex id asc.
+        order = np.lexsort((np.arange(heat.num_nodes), -degree))
+        hot = [int(v) for v in order[:self.hot_top_k] if degree[v] > 0]
+        assignment = np.full(heat.num_nodes, hot_shards, dtype=np.int64)
+        load = np.zeros(hot_shards)
+        for v in hot:   # heaviest first onto the least-loaded hot shard
+            s = int(np.argmin(load))
+            assignment[v] = s
+            load[s] += degree[v]
+        return Placement(assignment=assignment, num_shards=num_shards,
+                         policy=self.name)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,15 +1,18 @@
-"""Event-driven multi-server FIFO queue simulation.
+"""Multi-server FIFO queue simulation — a façade over the event core.
 
-Generalizes — and bug-fixes — the single-server replay loop that used to
-live inline in ``pipeline/queueing.py``:
+Historically this module owned a standalone arrival-driven loop; the loop
+now lives in :mod:`repro.serving.events` as a :class:`ServerGroup` actor on
+the shared :class:`EventScheduler`, so one queue implementation serves the
+single-queue replay, the sharded engine, the replica pool, and the hybrid
+topology alike.  :func:`simulate_queue` keeps its exact historical
+contract (same :class:`SimulationResult` fields, same tie-breaking, same
+``service_fn`` call order — property-tested against a reference
+implementation in ``tests/unit/test_events.py``):
 
 * **Utilization** is busy time over ``num_servers * makespan`` where the
   makespan extends to the *last service completion*, not the last arrival.
-  The old accounting dropped the trailing service, so a stable system could
-  report utilization > 1, and a single-window stream divided by ~0.
-* **Queue capacity** bounds the *waiting* jobs only; the job in service no
-  longer counts against the ingest buffer (the old off-by-one made a
-  capacity-``c`` queue drop at backlog ``c - 1``).
+* **Queue capacity** bounds the *waiting* jobs only; the job in service
+  does not count against the ingest buffer.
 * **Stability** is judged by offered load (arrival rate × mean service /
   servers), which stays meaningful when the trace ends with a backlog and
   utilization saturates at 1.
@@ -22,85 +25,12 @@ stream in the same order a real deployment would.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-import numpy as np
+from .events import (_ARRIVAL, EventScheduler, ServedJob, ServerGroup,
+                     SimulationResult)
 
 __all__ = ["ServedJob", "SimulationResult", "simulate_queue"]
-
-
-@dataclass(frozen=True)
-class ServedJob:
-    """One admitted job's timeline through the queue."""
-
-    index: int          # position in the arrival sequence
-    t_arrive: float
-    t_begin: float
-    t_finish: float
-    service_s: float
-    server: int
-
-    @property
-    def wait_s(self) -> float:
-        return self.t_begin - self.t_arrive
-
-    @property
-    def response_s(self) -> float:
-        return self.t_finish - self.t_arrive
-
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Outcome of a queue simulation, with aggregate statistics."""
-
-    served: tuple[ServedJob, ...]
-    dropped_indices: tuple[int, ...]
-    num_servers: int
-    busy_s: float
-    makespan_s: float       # first arrival -> last service completion
-    utilization: float      # busy / (num_servers * makespan), in [0, 1]
-    offered_load: float     # arrival rate * mean service / num_servers
-    max_queue_depth: int    # waiting jobs only (in-service excluded)
-
-    @property
-    def jobs(self) -> int:
-        return len(self.served)
-
-    @property
-    def dropped(self) -> int:
-        return len(self.dropped_indices)
-
-    @property
-    def stable(self) -> bool:
-        """A sustainable deployment keeps offered load below 1."""
-        return self.offered_load < 1.0
-
-    # ------------------------------------------------------------------ #
-    def waits(self) -> np.ndarray:
-        return np.array([j.wait_s for j in self.served])
-
-    def responses(self) -> np.ndarray:
-        return np.array([j.response_s for j in self.served])
-
-    @property
-    def mean_wait_s(self) -> float:
-        return float(self.waits().mean()) if self.served else 0.0
-
-    @property
-    def mean_response_s(self) -> float:
-        return float(self.responses().mean()) if self.served else 0.0
-
-    @property
-    def p95_response_s(self) -> float:
-        return float(np.percentile(self.responses(), 95)) if self.served \
-            else 0.0
-
-    @property
-    def p99_response_s(self) -> float:
-        return float(np.percentile(self.responses(), 99)) if self.served \
-            else 0.0
 
 
 def simulate_queue(arrivals: Sequence[tuple[float, Any]],
@@ -132,61 +62,11 @@ def simulate_queue(arrivals: Sequence[tuple[float, Any]],
     if any(arr[i][0] > arr[i + 1][0] for i in range(len(arr) - 1)):
         raise ValueError("arrivals must be sorted by time")
 
-    free: list[tuple[float, int]] = [(0.0, s) for s in range(num_servers)]
-    waiting: list[float] = []       # begin times of queued (not started) jobs
-    served: list[ServedJob] = []
-    dropped: list[int] = []
-    busy = 0.0
-    max_depth = 0
-    for i, (t_arrive, payload) in enumerate(arr):
-        # Jobs whose service has begun by now have left the buffer.
-        while waiting and waiting[0] <= t_arrive:
-            heapq.heappop(waiting)
-        # A full buffer only rejects jobs that would have to wait: with an
-        # idle server the job starts immediately and never occupies a slot
-        # (so ``queue_capacity=0`` models a bufferless loss system, not a
-        # server that drops everything).
-        if queue_capacity is not None and len(waiting) >= queue_capacity \
-                and free[0][0] > t_arrive:
-            dropped.append(i)
-            continue
-        service = float(service_fn(payload))
-        if service < 0:
-            raise ValueError("service_fn returned a negative service time")
-        free_t, srv = heapq.heappop(free)
-        begin = max(free_t, t_arrive)
-        finish = begin + service
-        heapq.heappush(free, (finish, srv))
-        busy += service
-        if begin > t_arrive:
-            heapq.heappush(waiting, begin)
-            max_depth = max(max_depth, len(waiting))
-        served.append(ServedJob(index=i, t_arrive=t_arrive, t_begin=begin,
-                                t_finish=finish, service_s=service,
-                                server=srv))
-
-    if not served:
-        return SimulationResult(served=(), dropped_indices=tuple(dropped),
-                                num_servers=num_servers, busy_s=0.0,
-                                makespan_s=0.0, utilization=0.0,
-                                offered_load=0.0, max_queue_depth=max_depth)
-
-    t_first = arr[0][0]
-    makespan = max(max(j.t_finish for j in served) - t_first, 0.0)
-    utilization = busy / (num_servers * makespan) if makespan > 0 else \
-        (1.0 if busy > 0 else 0.0)
-    n = len(arr)
-    span = arr[-1][0] - t_first
-    mean_service = busy / len(served)
-    if n <= 1:
-        # One job is not an arrival process; it cannot overload anything.
-        offered = 0.0
-    elif span <= 0:
-        offered = float("inf")
-    else:
-        offered = ((n - 1) / span) * mean_service / num_servers
-    return SimulationResult(served=tuple(served),
-                            dropped_indices=tuple(dropped),
-                            num_servers=num_servers, busy_s=busy,
-                            makespan_s=makespan, utilization=utilization,
-                            offered_load=offered, max_queue_depth=max_depth)
+    sched = EventScheduler()
+    group = ServerGroup(0, num_servers, service_fn, sched,
+                        queue_capacity=queue_capacity)
+    for t, payload in arr:
+        sched.schedule(t, _ARRIVAL, None, lambda _e, _t=t, _p=payload:
+                       group.submit(_t, _p))
+    sched.run()
+    return group.finalize()

@@ -3,14 +3,27 @@
 Runs the serving-scale bench exactly the way CI would
 (``pytest benchmarks/bench_serving_scale.py --smoke``) so the bench and the
 ``--smoke`` conftest option cannot rot without a tier-1 failure.
+
+The run is also held to a **wall-clock budget**: every serving simulation
+now flows through the discrete-event core, so a regression in the
+scheduler's per-event overhead (a hot-path allocation, an accidental
+O(n^2) queue scan) would show up here as a slow smoke run long before it
+ruins the full bench.  The budget is deliberately far above the healthy
+runtime (a few seconds) but far below "something is quadratic".
 """
 
 import os
 import subprocess
 import sys
+import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
+
+# Seconds of wall clock the whole smoke harness (4 benches + interpreter
+# startup) may take.  Healthy runs finish in ~5 s; the budget leaves ~8x
+# headroom for slow CI machines while still catching a per-event blowup.
+SMOKE_BUDGET_S = 40.0
 
 
 def test_serving_scale_smoke_runs_quickly(tmp_path):
@@ -18,12 +31,18 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
     env = dict(os.environ)
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     env["REPRO_RESULTS_DIR"] = str(tmp_path)   # keep the tree clean
+    t0 = time.monotonic()
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", "-q",
          os.path.join("benchmarks", "bench_serving_scale.py"), "--smoke"],
-        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=60)
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
+    elapsed = time.monotonic() - t0
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "3 passed" in proc.stdout
+    assert "4 passed" in proc.stdout
     assert "Serving scale" in proc.stdout
     assert "Placement x topology" in proc.stdout
     assert "Memory sync" in proc.stdout
+    assert "Ingest x topology" in proc.stdout
+    assert elapsed < SMOKE_BUDGET_S, (
+        f"--smoke took {elapsed:.1f} s (budget {SMOKE_BUDGET_S:.0f} s): "
+        f"the event loop's per-event overhead has regressed")

@@ -221,7 +221,8 @@ class TestServeSim:
 
     def test_serve_sim_json_covers_every_topology(self, tmp_path):
         for i, extra in enumerate((["--topology", "pool"],
-                                   ["--placement", "replicate"])):
+                                   ["--placement", "replicate"],
+                                   ["--topology", "hybrid"])):
             path = str(tmp_path / f"r{i}.json")
             code, _ = run(["serve-sim", "--dataset", "wikipedia",
                            "--edges", "400", "--shards", "2",
@@ -234,6 +235,119 @@ class TestServeSim:
                 report = json.load(f)
             assert report["stable"] in (True, False)
             assert report["replication_factor"] >= 1.0
+
+
+class TestServeSimGolden:
+    """``--ingest serial`` reports are byte-identical to the pre-event-core
+    engine: the golden files were generated by the PR 3 engine (before the
+    unified scheduler refactor) and pin the serial path bit-for-bit."""
+
+    GOLDEN_DIR = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "tests", "golden")
+
+    BASE = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+            "--shards", "4", "--streams", "2", "--backend", "cpu-32t",
+            "--window-s", "3600", "--memory-dim", "8", "--seed", "0"]
+
+    CASES = {
+        "serve_sim_sharded.json": [],
+        "serve_sim_pool.json": ["--topology", "pool"],
+        "serve_sim_memsync_batched.json": [
+            "--memsync", "push", "--deadline-ms", "50",
+            "--batch-edges", "128", "--placement", "replicate"],
+    }
+
+    @pytest.mark.parametrize("golden,extra", sorted(CASES.items()))
+    def test_serial_reports_byte_identical_to_pre_refactor(
+            self, tmp_path, golden, extra):
+        path = str(tmp_path / "report.json")
+        code, _ = run(self.BASE + extra + ["--json", path])
+        assert code == 0
+        with open(os.path.join(self.GOLDEN_DIR, golden), "rb") as f:
+            want = f.read()
+        with open(path, "rb") as f:
+            got = f.read()
+        assert got == want
+
+    def test_explicit_ingest_serial_flag_matches_default(self, tmp_path):
+        """``--ingest serial`` spelled out == the default == the golden."""
+        path = str(tmp_path / "report.json")
+        code, _ = run(self.BASE + ["--ingest", "serial", "--json", path])
+        assert code == 0
+        with open(os.path.join(self.GOLDEN_DIR,
+                               "serve_sim_sharded.json"), "rb") as f:
+            want = f.read()
+        with open(path, "rb") as f:
+            got = f.read()
+        assert got == want
+
+
+class TestServeSimHybridAndIngest:
+    def test_serve_sim_hybrid_topology(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "600", "--shards", "2",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--topology", "hybrid", "--hot-top-k", "8"])
+        assert code == 0
+        assert "2 hot shard(s) + pool of 2 replica(s)" in text
+        assert "[placement hybrid]" in text
+        assert text.count("shard ") >= 3    # 2 hot shards + the pool row
+
+    def test_serve_sim_hybrid_pool_servers_flag(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "400", "--shards", "2",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--topology", "hybrid", "--pool-servers", "3"])
+        assert code == 0
+        assert "pool of 3 replica(s)" in text
+
+    def test_serve_sim_hybrid_ignores_placement_with_note(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "400", "--shards", "2",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--topology", "hybrid",
+                          "--placement", "replicate"])
+        assert code == 0
+        assert "--placement replicate is ignored in hybrid" in text
+
+    def test_serve_sim_pipelined_ingest_tagged_and_faster(self, tmp_path):
+        base = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+                "--shards", "2", "--streams", "2", "--backend", "cpu-32t",
+                "--window-s", "3600", "--memory-dim", "8",
+                "--deadline-ms", "2000"]
+        import json
+        p95 = {}
+        for ingest in ("serial", "pipelined"):
+            path = str(tmp_path / f"{ingest}.json")
+            code, text = run(base + ["--ingest", ingest, "--json", path])
+            assert code == 0
+            assert ("[ingest pipelined]" in text) == (ingest == "pipelined")
+            with open(path) as f:
+                report = json.load(f)
+            p95[ingest] = report["p95_response_s"]
+            # The key only appears in pipelined reports (serial keeps the
+            # pre-event-core schema byte-for-byte).
+            assert ("ingest" in report) == (ingest == "pipelined")
+        assert p95["pipelined"] < p95["serial"]
+
+    def test_serve_sim_hybrid_json_determinism(self, tmp_path):
+        argv = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+                "--shards", "2", "--streams", "2", "--backend", "cpu-32t",
+                "--window-s", "3600", "--memory-dim", "8",
+                "--topology", "hybrid", "--ingest", "pipelined"]
+        paths = [str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        for path in paths:
+            code, _ = run(argv + ["--json", path])
+            assert code == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
+        import json
+        report = json.loads(a)
+        assert report["topology"] == "hybrid"
+        assert report["ingest"] == "pipelined"
 
 
 class TestDseTrace:

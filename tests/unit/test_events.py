@@ -1,0 +1,568 @@
+"""Invariant and equivalence tests for the discrete-event serving core.
+
+Three contracts pin the refactor:
+
+* :func:`repro.serving.simulate_queue` (now a façade over a
+  :class:`ServerGroup` on the shared scheduler) is *exactly* equivalent —
+  every served-job field, every aggregate — to the historical standalone
+  arrival-driven loop, reproduced here as :func:`reference_simulate_queue`.
+* :class:`BatcherActor` under serial ingest releases *exactly* the jobs
+  :meth:`DynamicBatcher.coalesce` computes offline, for every trigger
+  configuration.
+* Scheduler conservation: every admitted job is served exactly once, no
+  event fires out of timestamp order, and per-server busy intervals never
+  overlap — over randomized arrival traces, all topologies, both ingest
+  modes.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.datasets import wikipedia_like
+from repro.graph import TemporalGraph
+from repro.graph.temporal_graph import EdgeBatch
+from repro.pipeline import LinearCostBackend
+from repro.serving import (BatcherActor, DynamicBatcher, EventScheduler,
+                           FlushEvent, HotColdHybrid, MailEvent,
+                           ServiceBeginEvent, ServiceEndEvent, ServingEngine,
+                           StreamArrival, SyncEvent, VertexHeat,
+                           make_stream_arrivals, simulate_queue)
+from repro.serving.events import ServedJob, ServerGroup, SimulationResult
+
+
+# --------------------------------------------------------------------------- #
+def reference_simulate_queue(arrivals, service_fn, num_servers=1,
+                             queue_capacity=None):
+    """The historical standalone queue loop (pre-event-core), verbatim.
+
+    Kept here as the independent oracle the façade is property-tested
+    against: same admission rule, same tie-breaking, same statistics.
+    """
+    arr = list(arrivals)
+    free = [(0.0, s) for s in range(num_servers)]
+    waiting = []
+    served = []
+    dropped = []
+    busy = 0.0
+    max_depth = 0
+    for i, (t_arrive, payload) in enumerate(arr):
+        while waiting and waiting[0] <= t_arrive:
+            heapq.heappop(waiting)
+        if queue_capacity is not None and len(waiting) >= queue_capacity \
+                and free[0][0] > t_arrive:
+            dropped.append(i)
+            continue
+        service = float(service_fn(payload))
+        free_t, srv = heapq.heappop(free)
+        begin = max(free_t, t_arrive)
+        finish = begin + service
+        heapq.heappush(free, (finish, srv))
+        busy += service
+        if begin > t_arrive:
+            heapq.heappush(waiting, begin)
+            max_depth = max(max_depth, len(waiting))
+        served.append(ServedJob(index=i, t_arrive=t_arrive, t_begin=begin,
+                                t_finish=finish, service_s=service,
+                                server=srv))
+    if not served:
+        return SimulationResult(served=(), dropped_indices=tuple(dropped),
+                                num_servers=num_servers, busy_s=0.0,
+                                makespan_s=0.0, utilization=0.0,
+                                offered_load=0.0, max_queue_depth=max_depth)
+    t_first = arr[0][0]
+    makespan = max(max(j.t_finish for j in served) - t_first, 0.0)
+    utilization = busy / (num_servers * makespan) if makespan > 0 else \
+        (1.0 if busy > 0 else 0.0)
+    n = len(arr)
+    span = arr[-1][0] - t_first
+    mean_service = busy / len(served)
+    if n <= 1:
+        offered = 0.0
+    elif span <= 0:
+        offered = float("inf")
+    else:
+        offered = ((n - 1) / span) * mean_service / num_servers
+    return SimulationResult(served=tuple(served),
+                            dropped_indices=tuple(dropped),
+                            num_servers=num_servers, busy_s=busy,
+                            makespan_s=makespan, utilization=utilization,
+                            offered_load=offered, max_queue_depth=max_depth)
+
+
+def random_trace(rng, n, tie_prob=0.3):
+    """Sorted arrival times with deliberate exact ties."""
+    gaps = rng.exponential(1.0, size=n)
+    gaps[rng.random(n) < tie_prob] = 0.0
+    t = np.cumsum(gaps)
+    return [(float(ti), i) for i, ti in enumerate(t)]
+
+
+class TestFacadeEquivalence:
+    """simulate_queue (event core) == the historical loop, field for field."""
+
+    def assert_identical(self, a: SimulationResult, b: SimulationResult):
+        assert a.served == b.served          # every ServedJob field, server
+        assert a.dropped_indices == b.dropped_indices
+        assert a.num_servers == b.num_servers
+        assert a.busy_s == b.busy_s          # bit-exact, not approx
+        assert a.makespan_s == b.makespan_s
+        assert a.utilization == b.utilization
+        assert a.offered_load == b.offered_load
+        assert a.max_queue_depth == b.max_queue_depth
+
+    @pytest.mark.parametrize("servers", [1, 2, 5])
+    @pytest.mark.parametrize("capacity", [None, 0, 3])
+    def test_randomized_traces(self, servers, capacity):
+        rng = np.random.default_rng(servers * 100 + (capacity or 7))
+        for trial in range(12):
+            n = int(rng.integers(1, 120))
+            arr = random_trace(rng, n)
+            service = rng.exponential(0.8, size=n)
+            got = simulate_queue(arr, lambda i: float(service[i]),
+                                 num_servers=servers,
+                                 queue_capacity=capacity)
+            want = reference_simulate_queue(
+                arr, lambda i: float(service[i]), num_servers=servers,
+                queue_capacity=capacity)
+            self.assert_identical(got, want)
+
+    def test_deterministic_edge_cases(self):
+        cases = [
+            ([], 1, None),
+            ([(0.0, 0)], 1, None),
+            ([(0.0, 0)] * 5, 2, None),             # all-simultaneous burst
+            ([(0.0, 0)] * 5, 2, 0),                # bufferless loss system
+            ([(float(i), i) for i in range(10)], 3, 1),
+            ([(0.0, 0), (0.0, 1), (1.0, 2), (1.0, 3)], 2, 2),
+        ]
+        for arr, servers, cap in cases:
+            got = simulate_queue(arr, lambda _: 2.5, num_servers=servers,
+                                 queue_capacity=cap)
+            want = reference_simulate_queue(arr, lambda _: 2.5,
+                                            num_servers=servers,
+                                            queue_capacity=cap)
+            self.assert_identical(got, want)
+
+    def test_service_fn_called_in_admission_order_only_for_admitted(self):
+        calls = []
+
+        def service(payload):
+            calls.append(payload)
+            return 10.0
+
+        arr = [(float(i) * 0.1, i) for i in range(6)]
+        res = simulate_queue(arr, service, queue_capacity=1)
+        assert calls == sorted(calls)
+        assert len(calls) == res.jobs
+        assert set(calls) | {arr[i][1] for i in res.dropped_indices} \
+            == set(range(6))
+
+
+# --------------------------------------------------------------------------- #
+def tiny_batch(t, n_edges=1, num_nodes=8, seed=0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=n_edges)
+    dst = rng.integers(0, num_nodes, size=n_edges)
+    return EdgeBatch(src=src.astype(np.int64), dst=dst.astype(np.int64),
+                     t=np.full(n_edges, float(t)),
+                     eid=np.arange(n_edges, dtype=np.int64),
+                     edge_feat=np.zeros((n_edges, 0)))
+
+
+def random_arrivals(rng, n):
+    t = np.cumsum(rng.exponential(1.0, size=n))
+    t[rng.random(n) < 0.2] = np.nan        # mark ties...
+    if np.isnan(t[0]):
+        t[0] = 0.0
+    # ...by repeating the previous instant.
+    for i in range(1, n):
+        if np.isnan(t[i]):
+            t[i] = t[i - 1]
+    return [StreamArrival(t=float(t[i]), stream=0,
+                          batch=tiny_batch(t[i],
+                                           n_edges=int(rng.integers(1, 9)),
+                                           seed=i))
+            for i in range(n)]
+
+
+class TestBatcherActorEquivalence:
+    """Serial BatcherActor == offline DynamicBatcher.coalesce, exactly."""
+
+    CONFIGS = [
+        dict(),                                     # passthrough
+        dict(max_edges=16),                         # size-only (inf deadline)
+        dict(max_edges=16, max_delay_s=3.0),        # size + deadline
+        dict(max_delay_s=2.0),                      # deadline-only
+        dict(max_edges=3),                          # cap below arrival size
+        dict(max_edges=10_000, max_delay_s=0.0),    # passthrough via deadline
+    ]
+
+    def run_actor(self, batcher, arrivals, ingest="serial", fleet=()):
+        sched = EventScheduler()
+        jobs = []
+        actor = BatcherActor(batcher, sched, jobs.append, ingest=ingest,
+                             fleet=fleet)
+        actor.start(arrivals)
+        sched.run()
+        return jobs
+
+    @pytest.mark.parametrize("cfg_index", range(len(CONFIGS)))
+    def test_matches_offline_coalesce(self, cfg_index):
+        cfg = self.CONFIGS[cfg_index]
+        rng = np.random.default_rng(1000 + cfg_index)   # reproducible
+        for trial in range(8):
+            arrivals = random_arrivals(rng, int(rng.integers(1, 60)))
+            offline = DynamicBatcher(**cfg).coalesce(arrivals)
+            online = self.run_actor(DynamicBatcher(**cfg), arrivals)
+            assert len(online) == len(offline)
+            for a, b in zip(online, offline):
+                assert a.t_release == b.t_release      # bit-exact
+                assert a.sources == b.sources
+                assert np.array_equal(a.batch.t, b.batch.t)
+
+    def test_real_window_arrivals_match(self):
+        g = wikipedia_like(num_edges=600, num_users=80, num_items=20)
+        arrivals = make_stream_arrivals(g, 3600.0, num_streams=2,
+                                        speedup=4.0)
+        for cfg in self.CONFIGS:
+            offline = DynamicBatcher(**cfg).coalesce(arrivals)
+            online = self.run_actor(DynamicBatcher(**cfg), arrivals)
+            assert [(j.t_release, len(j.sources)) for j in online] \
+                == [(j.t_release, len(j.sources)) for j in offline]
+
+    def test_unsorted_arrivals_rejected(self):
+        arrivals = [StreamArrival(1.0, 0, tiny_batch(1.0)),
+                    StreamArrival(0.0, 0, tiny_batch(0.0))]
+        with pytest.raises(ValueError, match="sorted"):
+            self.run_actor(DynamicBatcher(), arrivals)
+
+    def test_invalid_ingest_mode_rejected(self):
+        with pytest.raises(ValueError, match="ingest"):
+            BatcherActor(DynamicBatcher(), EventScheduler(), lambda j: None,
+                         ingest="warp")
+
+
+# --------------------------------------------------------------------------- #
+class TestSchedulerInvariants:
+    @pytest.mark.parametrize("ingest", ["serial", "pipelined"])
+    def test_events_fire_in_timestamp_order(self, ingest):
+        """The full typed-event trace of an engine run is time-monotone,
+        and every event family shows up at its event-time slot."""
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=16)
+        engine = ServingEngine(
+            [LinearCostBackend(per_edge_s=5e-3) for _ in range(3)],
+            g.num_nodes, batcher=DynamicBatcher(max_delay_s=500.0),
+            memsync="push")
+        arrivals = make_stream_arrivals(g, 3600.0, num_streams=2,
+                                        speedup=50.0)
+        rep = engine._run_events(arrivals, 3600.0, 50.0, 2, None, ingest,
+                                 trace=True)
+        assert rep.windows > 0
+        trace = engine.last_event_trace
+        times = [e.t for e in trace]
+        assert times == sorted(times)
+        kinds = {type(e) for e in trace}
+        assert {FlushEvent, ServiceBeginEvent, ServiceEndEvent,
+                MailEvent, SyncEvent} <= kinds
+        # Mail and sync are recorded at the release instant of their job.
+        flushes = {e.t for e in trace if isinstance(e, FlushEvent)}
+        for e in trace:
+            if isinstance(e, (MailEvent, SyncEvent)):
+                assert e.t in flushes
+        # Begins never precede their job's release into the system.
+        ends = [e for e in trace if isinstance(e, ServiceEndEvent)]
+        begins = [e for e in trace if isinstance(e, ServiceBeginEvent)]
+        assert len(ends) == len(begins)
+
+    def test_scheduling_into_the_past_raises(self):
+        sched = EventScheduler()
+        fired = []
+
+        def bad_handler(_):
+            # Time has advanced to 5.0; scheduling at 1.0 is a bug.
+            sched.schedule(1.0, 0, None, fired.append)
+
+        sched.schedule(5.0, 0, None, bad_handler)
+        with pytest.raises(RuntimeError, match="before now"):
+            sched.run()
+
+    def test_cancelled_events_never_fire(self):
+        sched = EventScheduler()
+        fired = []
+        token = sched.schedule(1.0, 0, None, fired.append)
+        sched.schedule(2.0, 0, None, lambda e: fired.append("kept"))
+        sched.cancel(token)
+        sched.run()
+        assert fired == ["kept"]
+
+
+def check_conservation(report, results):
+    """Every admitted job served exactly once; busy intervals disjoint."""
+    for res in results:
+        indices = [j.index for j in res.served]
+        assert len(indices) == len(set(indices))            # exactly once
+        assert set(indices) & set(res.dropped_indices) == set()
+        by_server = {}
+        for j in res.served:
+            assert j.t_finish >= j.t_begin >= 0.0
+            assert j.t_begin >= j.t_arrive or j.t_arrive < 0
+            by_server.setdefault(j.server, []).append(j)
+        for jobs in by_server.values():
+            jobs.sort(key=lambda j: j.t_begin)
+            for a, b in zip(jobs, jobs[1:]):
+                assert b.t_begin >= a.t_finish - 1e-12      # no overlap
+
+
+class TestConservationAcrossTopologies:
+    """Randomized traces through every topology x ingest combination."""
+
+    def graph(self, seed=0):
+        return wikipedia_like(num_edges=500, num_users=60, num_items=16)
+
+    def build(self, topology, g):
+        if topology == "pool":
+            return ServingEngine([LinearCostBackend(per_edge_s=2e-3)],
+                                 g.num_nodes, topology="pool",
+                                 pool_servers=3,
+                                 batcher=DynamicBatcher(max_delay_s=200.0))
+        if topology == "hybrid":
+            heat = VertexHeat.from_graph(g)
+            placement = HotColdHybrid(hot_top_k=8).place(heat, 4)
+            return ServingEngine(
+                [LinearCostBackend(per_edge_s=2e-3) for _ in range(4)],
+                g.num_nodes, placement=placement, topology="hybrid",
+                pool_servers=3, batcher=DynamicBatcher(max_delay_s=200.0))
+        return ServingEngine(
+            [LinearCostBackend(per_edge_s=2e-3) for _ in range(3)],
+            g.num_nodes, batcher=DynamicBatcher(max_delay_s=200.0))
+
+    @pytest.mark.parametrize("topology", ["sharded", "pool", "hybrid"])
+    @pytest.mark.parametrize("ingest", ["serial", "pipelined"])
+    def test_served_exactly_once_and_busy_disjoint(self, topology, ingest):
+        g = self.graph()
+        engine = self.build(topology, g)
+        arrivals = make_stream_arrivals(g, 3600.0, num_streams=2,
+                                        speedup=100.0)
+        rep = engine.run(g, window_s=3600.0, num_streams=2, speedup=100.0,
+                         ingest=ingest)
+        assert rep.windows + rep.dropped_windows == len(arrivals)
+        assert rep.dropped_windows == 0
+        assert rep.ingest == ingest
+        assert rep.topology == topology
+
+    @pytest.mark.parametrize("topology", ["sharded", "pool", "hybrid"])
+    @pytest.mark.parametrize("ingest", ["serial", "pipelined"])
+    def test_group_level_conservation(self, topology, ingest):
+        g = self.graph()
+        engine = self.build(topology, g)
+        arrivals = make_stream_arrivals(g, 3600.0, num_streams=2,
+                                        speedup=100.0)
+        # Bounded queues so drops are in play, driven at the raw-group
+        # level for per-server busy intervals and exactly-once admission.
+        rep = engine._run_events(arrivals, 3600.0, 100.0, 2, 2, ingest)
+        assert rep.windows + rep.dropped_windows == len(arrivals)
+        check_conservation(rep, self._raw_results(engine, arrivals, ingest))
+
+    def _raw_results(self, engine, arrivals, ingest):
+        sched = EventScheduler()
+        groups = engine._make_groups(sched, 2)
+        submitted = [[] for _ in groups]
+        from repro.serving.events import BatcherActor as BA
+
+        if engine.topology == "pool":
+            def sink(job):
+                groups[0].submit(job.t_release, job)
+        else:
+            from repro.serving.memsync import VersionedMemoryCache
+            cache = VersionedMemoryCache(engine.router.placement,
+                                         policy=engine.memsync)
+
+            def sink(job):
+                for sb in engine.router.split(job.batch, cache=cache):
+                    groups[sb.shard].submit(job.t_release,
+                                            (0, sb, 0, 0))
+        actor = BA(engine.batcher, sched, sink, ingest=ingest,
+                   fleet=groups if ingest == "pipelined" else ())
+        if ingest == "pipelined":
+            for grp in groups:
+                grp.on_hungry = actor.on_hungry
+        actor.start(arrivals)
+        sched.run()
+        return [grp.finalize() for grp in groups]
+
+
+# --------------------------------------------------------------------------- #
+class TestPipelinedIngest:
+    """Double-buffered ingest: batching delay hides behind compute."""
+
+    def test_idle_fleet_flushes_immediately(self):
+        """On a light workload with a long deadline, pipelined ingest
+        strictly beats serial: serial pays the deadline on every window."""
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=16)
+        deadline = 300.0
+
+        def engine():
+            return ServingEngine(
+                [LinearCostBackend(per_edge_s=1e-4) for _ in range(2)],
+                g.num_nodes, batcher=DynamicBatcher(max_delay_s=deadline))
+
+        serial = engine().run(g, window_s=3600.0, num_streams=2)
+        pipelined = engine().run(g, window_s=3600.0, num_streams=2,
+                                 ingest="pipelined")
+        assert pipelined.p95_response_s < serial.p95_response_s
+        assert pipelined.mean_response_s < serial.mean_response_s
+        # Serial pays the full deadline; pipelined pays none of it at this
+        # load (the fleet is hungry at every arrival).
+        assert serial.p95_response_s > deadline
+        assert pipelined.p95_response_s < deadline
+        # Same stream served either way.
+        assert pipelined.windows == serial.windows
+        assert pipelined.ingested_edges == serial.ingested_edges
+
+    def test_busy_fleet_still_batches(self):
+        """Under overload the fleet is never hungry, so pipelined ingest
+        degenerates to the serial triggers (batching is free there)."""
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=16)
+
+        def engine():
+            return ServingEngine(
+                [LinearCostBackend(per_edge_s=10.0)],   # hopelessly slow
+                g.num_nodes, batcher=DynamicBatcher(max_delay_s=1e-3))
+
+        serial = engine().run(g, window_s=3600.0, speedup=1e9)
+        pipelined = engine().run(g, window_s=3600.0, speedup=1e9,
+                                 ingest="pipelined")
+        # First window finds a hungry fleet, after that both batch alike;
+        # throughput-side accounting must agree.
+        assert pipelined.ingested_edges == serial.ingested_edges
+        assert not serial.stable and not pipelined.stable
+
+    def test_serial_report_has_no_ingest_key_pipelined_does(self):
+        g = wikipedia_like(num_edges=300, num_users=40, num_items=10)
+        engine = ServingEngine([LinearCostBackend()], g.num_nodes)
+        serial = engine.run(g, window_s=3600.0)
+        pipelined = ServingEngine([LinearCostBackend()], g.num_nodes).run(
+            g, window_s=3600.0, ingest="pipelined")
+        assert "ingest" not in serial.to_dict()
+        assert pipelined.to_dict()["ingest"] == "pipelined"
+        assert b'"ingest"' not in serial.to_json().encode()
+
+    def test_invalid_ingest_rejected(self):
+        g = wikipedia_like(num_edges=300, num_users=40, num_items=10)
+        engine = ServingEngine([LinearCostBackend()], g.num_nodes)
+        with pytest.raises(ValueError, match="ingest"):
+            engine.run(g, window_s=3600.0, ingest="quantum")
+
+
+# --------------------------------------------------------------------------- #
+class TestHybridTopology:
+    def skewed_graph(self, num_cold=200, seed=3):
+        """Hot head (4 vertices, most traffic) + long cold tail."""
+        rng = np.random.default_rng(seed)
+        n_edges = 600
+        hot = rng.integers(0, 4, size=(n_edges, 2))
+        cold = rng.integers(4, 4 + num_cold, size=(n_edges, 2))
+        pick_hot = rng.random(n_edges) < 0.7
+        src = np.where(pick_hot, hot[:, 0], cold[:, 0])
+        dst = np.where(pick_hot, hot[:, 1], cold[:, 1])
+        dst = np.where(dst == src, (dst + 1) % (4 + num_cold), dst)
+        t = np.sort(rng.uniform(0, 1e4, size=n_edges))
+        return TemporalGraph(src=src.astype(np.int64),
+                             dst=dst.astype(np.int64), t=t,
+                             num_nodes=4 + num_cold)
+
+    def build(self, g, hot_shards=2, pool_servers=2, hot_top_k=4):
+        heat = VertexHeat.from_graph(g)
+        placement = HotColdHybrid(hot_top_k=hot_top_k).place(
+            heat, hot_shards + 1)
+        return ServingEngine(
+            [LinearCostBackend(per_edge_s=1e-3, overhead_s=5e-3)
+             for _ in range(hot_shards + 1)],
+            g.num_nodes, placement=placement, topology="hybrid",
+            pool_servers=pool_servers)
+
+    def test_placement_splits_hot_and_cold(self):
+        g = self.skewed_graph()
+        heat = VertexHeat.from_graph(g)
+        placement = HotColdHybrid(hot_top_k=4).place(heat, 3)
+        assert placement.policy == "hybrid"
+        hot = np.flatnonzero(placement.assignment < 2)
+        assert len(hot) == 4
+        # The hot head really is the measured top of the heat profile.
+        assert set(hot.tolist()) == {0, 1, 2, 3}
+        assert (placement.assignment[4:] == 2).all()
+        with pytest.raises(ValueError):
+            HotColdHybrid(hot_top_k=0)
+        with pytest.raises(ValueError):
+            HotColdHybrid().place(heat, 1)
+
+    def test_report_shape(self):
+        g = self.skewed_graph()
+        rep = self.build(g).run(g, window_s=1e3, num_streams=2)
+        assert rep.topology == "hybrid"
+        assert rep.placement == "hybrid"
+        assert rep.num_shards == 3                 # 2 hot + pool
+        assert rep.pool_servers == 2
+        assert len(rep.shard_stats) == 3
+        assert rep.shard_stats[-1].servers == 2    # the pool group
+        assert all(s.servers == 1 for s in rep.shard_stats[:-1])
+        assert rep.windows > 0
+        # Cross-regime mail exists: hot<->cold edges ride the mailbox.
+        assert rep.cross_shard_edges > 0
+        assert rep.processed_edges == \
+            rep.ingested_edges + rep.cross_shard_edges
+        # JSON stays canonical and carries the topology.
+        d = rep.to_dict()
+        assert d["topology"] == "hybrid"
+        assert d["pool_servers"] == 2
+
+    def test_hybrid_with_memsync_prices_sync(self):
+        g = self.skewed_graph()
+        heat = VertexHeat.from_graph(g)
+        placement = HotColdHybrid(hot_top_k=4).place(heat, 3)
+        engine = ServingEngine(
+            [LinearCostBackend(per_edge_s=1e-3) for _ in range(3)],
+            g.num_nodes, placement=placement, topology="hybrid",
+            pool_servers=2, memsync="push",
+            die_of=[0, 1, 0], mail_hop_s=1e-4)
+        rep = engine.run(g, window_s=1e3, num_streams=2)
+        assert rep.memsync == "push"
+        assert rep.sync_edges > 0
+        assert rep.stale_reads == 0
+        assert rep.cross_die_mail_edges > 0
+
+    def test_hybrid_determinism(self):
+        g = self.skewed_graph()
+        a = self.build(g).run(g, window_s=1e3, num_streams=2).to_json()
+        b = self.build(g).run(g, window_s=1e3, num_streams=2).to_json()
+        assert a == b
+
+    def test_from_registry_builds_hybrid(self):
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=12)
+        from repro.models import ModelConfig, TGNN
+        cfg = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8,
+                          edge_dim=g.edge_dim, num_neighbors=4,
+                          simplified_attention=True, lut_time_encoder=True,
+                          lut_bins=8, pruning_budget=2)
+        model = TGNN(cfg, rng=np.random.default_rng(0))
+        model.calibrate(g)
+        engine = ServingEngine.from_registry(
+            "cpu-32t", model, g, num_shards=2, topology="hybrid",
+            hot_top_k=6, backend_kwargs={"functional": False})
+        assert engine.topology == "hybrid"
+        assert engine.num_shards == 3
+        assert engine.pool_servers == 2
+        rep = engine.run(g, window_s=3600.0, num_streams=2)
+        assert rep.topology == "hybrid"
+        assert rep.windows > 0
+
+    def test_validation(self):
+        g = self.skewed_graph()
+        with pytest.raises(ValueError, match="placement"):
+            ServingEngine([LinearCostBackend(), LinearCostBackend()],
+                          g.num_nodes, topology="hybrid")
+        with pytest.raises(ValueError, match="pool_servers"):
+            ServingEngine([LinearCostBackend()], g.num_nodes,
+                          pool_servers=2)
