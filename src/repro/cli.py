@@ -19,9 +19,13 @@ Commands
             (``--ingest serial|pipelined``), placement policies
             (``--placement hash|rebalance|replicate``), cross-shard
             memory sync policies (``--memsync none|invalidate|push``),
+            online rebalancing (``--rebalance-online`` with
+            ``--rebalance-threshold`` / ``--rebalance-window``: mid-run
+            `MigrationEvent` ownership changes with priced state handoff),
             and per-shard queueing statistics; ``--json`` writes a
-            canonical (byte-stable) report, and ``--ingest serial`` is
-            byte-identical to the pre-event-core engine.
+            canonical (byte-stable) report, and ``--ingest serial``
+            without the rebalance flags is byte-identical to the
+            pre-event-core engine.
 
 Every command is a plain function taking parsed args, so tests invoke them
 without subprocesses.
@@ -146,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--util-threshold", type=float, default=0.75,
                    help="rebalance: migrate off shards above this measured "
                         "utilization")
+    v.add_argument("--rebalance-online", action="store_true",
+                   help="run the OnlineRebalancer on the event loop: "
+                        "migrate vertex ownership mid-run off shards whose "
+                        "window utilization exceeds --rebalance-threshold "
+                        "(sharded), or track hot-set drift between pool "
+                        "and dedicated shards (hybrid); state handoff is "
+                        "priced like sync traffic")
+    v.add_argument("--rebalance-threshold", type=float, default=0.75,
+                   help="online rebalancing: donate off shards above this "
+                        "window utilization (sharded topology)")
+    v.add_argument("--rebalance-window", type=float, default=None,
+                   metavar="SECONDS",
+                   help="online rebalancing: measurement window in served "
+                        "(event-loop) seconds; default is one workload "
+                        "window, --window-s / --speedup")
     v.add_argument("--replicate-top-k", type=int, default=8,
                    help="replicate: how many read-mostly hot vertices to "
                         "replicate")
@@ -304,8 +323,8 @@ def cmd_trace(args, out=print) -> int:
 
 def cmd_serve_sim(args, out=print) -> int:
     from .models import ModelConfig, TGNN, load_model
-    from .serving import (DEFAULT_REGISTRY, DynamicBatcher, ServingEngine,
-                          VertexHeat, make_policy)
+    from .serving import (DEFAULT_REGISTRY, DynamicBatcher, OnlineRebalancer,
+                          ServingEngine, VertexHeat, make_policy)
     graph = _dataset(args)
     if args.model:
         model = load_model(args.model)
@@ -334,13 +353,15 @@ def cmd_serve_sim(args, out=print) -> int:
         fpga_design = U200_DESIGN if args.backend == "u200" \
             else ZCU104_DESIGN
 
-    def build_engine(placement=None, die_of=None):
+    def build_engine(placement=None, die_of=None, rebalancer=None):
         # Price cross-shard mailbox traffic at the SLR-crossing latency of
         # the simulated part (single-die parts get an all-zero penalty;
         # pool replicas forward nothing, so no penalty applies there).
         kwargs = {}
         if placement is not None:
             kwargs["placement"] = placement
+        if rebalancer is not None:
+            kwargs["rebalancer"] = rebalancer
         if args.topology in ("sharded", "hybrid"):
             kwargs["memsync"] = args.memsync
         if args.topology == "hybrid":
@@ -426,7 +447,22 @@ def cmd_serve_sim(args, out=print) -> int:
                 f"topology (replicas share one state store, so nothing "
                 f"is ever stale)")
 
-    engine = build_engine(placement=placement, die_of=plan_dies(placement))
+    rebalancer = None
+    if args.rebalance_online:
+        if args.topology == "pool":
+            out("note: --rebalance-online is ignored in pool topology "
+                "(one shared queue has no partition to rebalance)")
+        else:
+            # Default window: one workload window in event-loop seconds
+            # (arrival time is stream time compressed by --speedup).
+            window = args.rebalance_window \
+                if args.rebalance_window is not None \
+                else args.window_s / args.speedup
+            rebalancer = OnlineRebalancer(
+                window_s=window, util_threshold=args.rebalance_threshold)
+
+    engine = build_engine(placement=placement, die_of=plan_dies(placement),
+                          rebalancer=rebalancer)
     report = run(engine)
 
     if args.topology == "pool":
@@ -461,6 +497,10 @@ def cmd_serve_sim(args, out=print) -> int:
         out(f"memsync {report.memsync}: {report.sync_edges} memory rows "
             f"synced, {report.stale_reads} stale reads "
             f"(max version lag {report.max_version_lag})")
+    if report.rebalance == "online":
+        out(f"rebalance online: {report.migrations} migration(s) of "
+            f"{report.migrated_vertices} vertex(es), "
+            f"{report.handoff_rows} state rows handed off")
     if args.json:
         with open(args.json, "w") as f:
             f.write(report.to_json() + "\n")

@@ -3,13 +3,14 @@
 from .registry import DATASETS, load  # noqa: F401
 from .stats import (delta_t_histogram, encoder_input_deltas,  # noqa: F401
                     equal_frequency_edges, tail_heaviness)
-from .synthetic import (StreamSpec, gdelt_like, generate_stream,  # noqa: F401
-                        lastfm_like, mooc_like, reddit_like, wikipedia_like)
+from .synthetic import (StreamSpec, drifting_hot_set_graph,  # noqa: F401
+                        gdelt_like, generate_stream, lastfm_like, mooc_like,
+                        reddit_like, wikipedia_like)
 
 __all__ = [
     "StreamSpec", "generate_stream",
     "wikipedia_like", "reddit_like", "gdelt_like",
-    "lastfm_like", "mooc_like",
+    "lastfm_like", "mooc_like", "drifting_hot_set_graph",
     "DATASETS", "load",
     "encoder_input_deltas", "delta_t_histogram", "equal_frequency_edges",
     "tail_heaviness",

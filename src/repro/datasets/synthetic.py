@@ -30,7 +30,7 @@ import numpy as np
 from ..graph.temporal_graph import TemporalGraph
 
 __all__ = ["StreamSpec", "generate_stream", "wikipedia_like", "reddit_like",
-           "gdelt_like"]
+           "gdelt_like", "drifting_hot_set_graph"]
 
 SECONDS_PER_DAY = 86_400.0
 
@@ -200,3 +200,50 @@ def mooc_like(num_edges: int = 6000, seed: int = 4,
         name="mooc-like", num_users=num_users, num_items=num_items,
         num_edges=num_edges, edge_dim=4, node_dim=0, duration_days=14.0,
         p_repeat=0.3, p_in_community=0.8, seed=seed))
+
+
+def drifting_hot_set_graph(num_edges: int, shards: int,
+                           num_nodes: int = 256, phases: int = 4,
+                           hot_frac: float = 0.85, hot_size: int = 12,
+                           seed: int = 11) -> TemporalGraph:
+    """A hot set that *rotates between shards* mid-stream.
+
+    Each phase (raw span 1e4 s) concentrates ``hot_frac`` of its edges on
+    ``hot_size`` vertices that all hash to one shard (the serving layer's
+    static multiplicative-hash partition), and the hot shard advances
+    every phase — the adversarial case for any static partition: under
+    hash one shard melts per phase while its neighbors idle, yet the
+    *aggregate* per-shard heat is symmetric, so a profile of the whole run
+    (a two-pass rebalancer's input) sees nothing to fix.  Only a policy
+    that reacts inside a phase can help; the online-rebalancing bench and
+    invariant tests both replay this workload.
+    """
+    # The bucketing deliberately mirrors the serving partition; imported
+    # lazily so the dataset layer stays import-light.
+    from ..serving.placement import hash_assignment
+    rng = np.random.default_rng(seed)
+    buckets = [np.flatnonzero(hash_assignment(num_nodes, shards) == s)
+               for s in range(shards)]
+    hot_sets = [b[:hot_size] for b in buckets]
+    if any(len(h) < hot_size for h in hot_sets):
+        raise ValueError("num_nodes too small for hot_size per shard")
+    src = np.empty(num_edges, dtype=np.int64)
+    dst = np.empty(num_edges, dtype=np.int64)
+    t = np.empty(num_edges)
+    per_phase = num_edges // phases
+    phase_span = 1e4
+    for p in range(phases):
+        lo = p * per_phase
+        hi = (p + 1) * per_phase if p < phases - 1 else num_edges
+        n = hi - lo
+        hs = hot_sets[p % shards]
+        hot = rng.random(n) < hot_frac
+        src[lo:hi] = np.where(hot, hs[rng.integers(0, hot_size, n)],
+                              rng.integers(0, num_nodes, n))
+        dst[lo:hi] = np.where(hot, hs[rng.integers(0, hot_size, n)],
+                              rng.integers(0, num_nodes, n))
+        t[lo:hi] = np.sort(rng.uniform(p * phase_span, (p + 1) * phase_span,
+                                       n))
+    same = dst == src
+    dst[same] = (dst[same] + 1) % num_nodes
+    return TemporalGraph(src=src, dst=dst, t=t, num_nodes=num_nodes)

@@ -21,15 +21,21 @@ Actors on the scheduler
 * :class:`ServerGroup` — a FIFO station of N identical servers: a
   dedicated shard is a 1-server group, a replica pool a K-server group;
   its statistics reproduce the historical standalone queue loop exactly;
+* :class:`OnlineRebalancer` — the control plane: watches per-shard window
+  utilization / queue depth on released jobs and migrates vertex
+  ownership mid-run via :class:`MigrationEvent` (overload-driven between
+  dedicated shards; heat-band drift between pool and shards in hybrid),
+  with the state handoff priced through ``mail_hop_s`` like sync traffic;
 * :class:`CrossShardMailbox` / :class:`VersionedMemoryCache` — the traffic
   and coherence components the router drives, in release order.
 
 Typed events: ``ArrivalEvent``, ``FlushEvent``, ``ServiceBeginEvent``,
-``ServiceEndEvent``, ``MailEvent``, ``SyncEvent``.  At equal timestamps
-events fire in a fixed priority order (ends → dispatches → flushes →
-arrivals), so runs are exactly reproducible; the scheduler enforces global
-timestamp monotonicity, and the conservation invariants (every admitted
-job served exactly once, per-server busy intervals never overlap) are
+``ServiceEndEvent``, ``MailEvent``, ``SyncEvent``, ``MigrationEvent``.  At
+equal timestamps events fire in a fixed priority order (ends → dispatches
+→ migrations → flushes → arrivals), so runs are exactly reproducible; the
+scheduler enforces global timestamp monotonicity, and the conservation
+invariants (every admitted job served exactly once, per-server busy
+intervals never overlap — with and without mid-run migrations) are
 property-tested over randomized traces.
 
 Topology × ingest matrix (:class:`ServingEngine`)
@@ -57,12 +63,6 @@ approximation in the tier-2 queueing tests) and
 :func:`repro.pipeline.replay_under_load` are thin wrappers over the same
 core — there is exactly one queue implementation in the repo.
 
-ROADMAP items this unblocks: **async ingest** (``ingest="pipelined"``) and
-**hybrid topology** are done here; **online rebalancing** (mid-run
-migration with state handoff priced through the mailbox) now has the
-event-time substrate it was blocked on — a placement change is just
-another event actors can react to.
-
 Placement-policy protocol
 -------------------------
 Where each vertex lives is a policy, not a constant.  A policy implements
@@ -76,8 +76,8 @@ vertex plus optional replica shards; the router delivers every incident
 edge to every holder, so replica state is exact.  Built-ins:
 
 * :class:`StaticHashPlacement` (``"hash"``) — static multiplicative hash;
-* :class:`LoadAwareRebalance` (``"rebalance"``) — profile-guided migration
-  of the hottest vertices off shards above a utilization threshold;
+* :class:`LoadAwareRebalance` (``"rebalance"``) — *two-pass* profile-guided
+  migration (profile a run, migrate, redeploy);
 * :class:`ReplicatedReadMostly` (``"replicate"``) — replicates high-fanout
   read-mostly vertices; cost surfaces as
   ``ServingReport.replication_factor``;
@@ -87,6 +87,19 @@ edge to every holder, so replica state is exact.  Built-ins:
 
 Register new policies in :data:`PLACEMENT_POLICIES` (name -> class); the
 ``serve-sim`` CLI and ``bench_serving_scale`` sweep whatever is there.
+
+Rebalancing happens at two timescales.  A *placement policy* decides
+before a run (``LoadAwareRebalance`` needs a whole profiling pass before
+it can act).  The **online** path (:mod:`repro.serving.rebalance`) reacts
+*during* a run: the :class:`OnlineRebalancer` emits
+:class:`MigrationEvent`\\ s the router consumes mid-stream, the memsync
+version counters survive the ownership change (post-migration ``push``
+replays stay bit-identical to the unsharded runtime — the exactness suite
+in ``test_rebalance``), and the handoff (memory rows + neighbor-table
+slices) is priced like :class:`SyncEvent` traffic.  In the hybrid
+topology the same actor tracks hot-set drift: vertices heating up migrate
+pool → shard, cooled ones shard → pool.  ``serve-sim
+--rebalance-online --rebalance-threshold --rebalance-window`` drives it.
 
 Cross-shard memory sync
 -----------------------
@@ -108,11 +121,13 @@ from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
 from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
                      make_stream_arrivals)
 from .events import (INGEST_MODES, ArrivalEvent, BatcherActor,  # noqa: F401
-                     EventScheduler, FlushEvent, MailEvent, RouterActor,
-                     ServerGroup, ServiceBeginEvent, ServiceEndEvent,
-                     Submission, SyncEvent)
+                     EventScheduler, FlushEvent, MailEvent, MigrationEvent,
+                     RouterActor, ServerGroup, ServiceBeginEvent,
+                     ServiceEndEvent, Submission, SyncEvent)
 from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
                       VersionedMemoryCache)
+from .rebalance import (HANDOFF_ROWS_PER_VERTEX,  # noqa: F401
+                        OnlineRebalancer)
 from .placement import (PLACEMENT_POLICIES, HotColdHybrid,  # noqa: F401
                         LoadAwareRebalance, Placement, PlacementPolicy,
                         ReplicatedReadMostly, StaticHashPlacement,
@@ -130,7 +145,8 @@ __all__ = [
     "EventScheduler", "ServerGroup", "BatcherActor", "RouterActor",
     "Submission", "INGEST_MODES",
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
-    "MailEvent", "SyncEvent",
+    "MailEvent", "SyncEvent", "MigrationEvent",
+    "OnlineRebalancer", "HANDOFF_ROWS_PER_VERTEX",
     "BackendRegistry", "DEFAULT_REGISTRY",
     "Placement", "PlacementPolicy", "VertexHeat", "hash_assignment",
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",

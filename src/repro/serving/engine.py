@@ -137,6 +137,10 @@ class ServingReport:
     max_version_lag: int = 0    # worst version lag among those reads
     pool_servers: int = 1       # replicas behind the shared queue (pool)
     ingest: str = "serial"      # ingest tier mode (serial | pipelined)
+    rebalance: str = "off"      # online rebalancing (off | online)
+    migrations: int = 0         # MigrationEvents applied during the run
+    migrated_vertices: int = 0  # distinct vertices that changed owner
+    handoff_rows: int = 0       # state rows handed off by migrations
 
     @property
     def stable(self) -> bool:
@@ -183,6 +187,12 @@ class ServingReport:
             # Serial reports keep the pre-event-core schema byte-for-byte
             # (the golden-test contract); only pipelined runs add the key.
             del d["ingest"]
+        if d["rebalance"] == "off":
+            # Likewise: only online-rebalanced runs add the migration keys,
+            # so pre-existing goldens stay byte-identical.
+            for key in ("rebalance", "migrations", "migrated_vertices",
+                        "handoff_rows"):
+                del d[key]
         return d
 
     def to_json(self) -> str:
@@ -275,6 +285,18 @@ class ServingEngine:
         ``mail_hop_s`` and surfaces in the report (``sync_edges`` /
         ``stale_reads`` / ``max_version_lag``); the *functional* exactness
         protocol lives in :class:`~repro.serving.memsync.ShardedRuntime`.
+    rebalancer:
+        An :class:`~repro.serving.rebalance.OnlineRebalancer` to run on
+        the event loop (sharded and hybrid topologies): it watches
+        per-shard window utilization / queue depth on released jobs and
+        migrates vertex ownership mid-run via
+        :class:`~repro.serving.events.MigrationEvent`.  Handoff rows are
+        priced through ``mail_hop_s`` like sync traffic (charged to the
+        destination shard's next sub-job) and the report gains
+        ``rebalance`` / ``migrations`` / ``migrated_vertices`` /
+        ``handoff_rows``.  In hybrid topology the rebalancer runs in
+        drift mode: heating pool vertices are promoted onto dedicated
+        shards, cooled dedicated-shard vertices demoted back to the pool.
     """
 
     def __init__(self, backends: Sequence, num_nodes: int,
@@ -285,7 +307,8 @@ class ServingEngine:
                  mail_hop_s: float = 0.0,
                  topology: str = "sharded",
                  pool_servers: int | None = None,
-                 memsync: str = "none"):
+                 memsync: str = "none",
+                 rebalancer=None):
         if not backends:
             raise ValueError("need at least one backend")
         if topology not in TOPOLOGIES:
@@ -304,6 +327,10 @@ class ServingEngine:
             if pool_servers <= 0:
                 raise ValueError("pool_servers must be positive")
         if topology == "pool":
+            if rebalancer is not None:
+                raise ValueError(
+                    "pool topology has no partition to rebalance: "
+                    "rebalancer does not apply")
             if len(backends) != 1:
                 raise ValueError(
                     "pool topology takes exactly one timing backend "
@@ -343,6 +370,7 @@ class ServingEngine:
                                                              dtype=np.int64)
         self.mail_hop_s = float(mail_hop_s)
         self.memsync = memsync
+        self.rebalancer = rebalancer
 
     @classmethod
     def from_registry(cls, backend: str | Sequence[str], model,
@@ -440,6 +468,9 @@ class ServingEngine:
         from the first run's warm state — deliberate for warm-deployment
         studies, but for independent, comparable replays build a fresh
         engine (``from_registry`` constructs fresh backends each call).
+        The same applies to online rebalancing: migrations mutate the live
+        placement, so a second run starts from the drifted partition (the
+        rebalancer's own counters do reset per run).
         """
         if ingest not in INGEST_MODES:
             raise ValueError(f"ingest must be one of {INGEST_MODES}")
@@ -490,16 +521,42 @@ class ServingEngine:
         per_shard: list[list[tuple[float, tuple]]] = \
             [[] for _ in groups]
 
+        # Migration handoff pricing: rows crossing a die cost one hop each
+        # (the handoff rides the mail channel, like a push); the hops are
+        # charged to the destination shard's *next* sub-job, the same way
+        # sync traffic inflates the service time of the job carrying it.
+        rebal = self.rebalancer
+        pending_handoff_hops = [0] * len(groups)
+        if rebal is not None:
+            def price_handoff(ev):
+                if self.die_of is not None \
+                        and self.die_of[ev.from_shard] \
+                        != self.die_of[ev.to_shard]:
+                    pending_handoff_hops[ev.to_shard] += ev.rows
+
+            rebal.bind(sched, groups, router=self.router, cache=cache,
+                       pool_shard=(self.num_shards - 1
+                                   if self.topology == "hybrid" else None),
+                       on_migrate=price_handoff)
+
         def route(job: CoalescedJob) -> list[Submission]:
             ji = len(jobs)
             jobs.append(job)
             if pooled:
                 per_shard[0].append((job.t_release, job))
                 return [Submission(0, job)]
+            if rebal is not None:
+                # Decisions scheduled here fire as MigrationEvents *after*
+                # this job's submissions land: in-flight work drains under
+                # the old ownership, the next release routes under the new.
+                rebal.observe(job.t_release, job.batch)
             subs = []
             for sb in self.router.split(job.batch, cache=cache):
                 hops = self._cross_die_mail(sb.shard, sb.mail_from)
                 sync_hops = self._cross_die_sync(sb)
+                if pending_handoff_hops[sb.shard]:
+                    sync_hops += pending_handoff_hops[sb.shard]
+                    pending_handoff_hops[sb.shard] = 0
                 payload = (ji, sb, hops, sync_hops)
                 per_shard[sb.shard].append((job.t_release, payload))
                 mail = sync = ()
@@ -536,7 +593,8 @@ class ServingEngine:
             return self._pool_report(arrivals, jobs, shard_results[0],
                                      window_s, speedup, num_streams, ingest)
         return self._sharded_report(arrivals, jobs, per_shard, shard_results,
-                                    window_s, speedup, num_streams, ingest)
+                                    window_s, speedup, num_streams, ingest,
+                                    rebal)
 
     # ------------------------------------------------------------------ #
     def _sharded_report(self, arrivals: list[StreamArrival],
@@ -544,7 +602,7 @@ class ServingEngine:
                         per_shard: list[list[tuple[float, tuple]]],
                         shard_results: list[SimulationResult],
                         window_s: float, speedup: float, num_streams: int,
-                        ingest: str) -> ServingReport:
+                        ingest: str, rebal=None) -> ServingReport:
         mailbox = CrossShardMailbox(self.num_shards)
 
         # Resolve drops globally first: a window is dropped if *any*
@@ -642,7 +700,11 @@ class ServingEngine:
             stale_reads=stale_reads,
             max_version_lag=max_version_lag,
             pool_servers=self.pool_servers if hybrid else 1,
-            ingest=ingest)
+            ingest=ingest,
+            rebalance="off" if rebal is None else "online",
+            migrations=0 if rebal is None else rebal.migrations,
+            migrated_vertices=0 if rebal is None else rebal.migrated_vertices,
+            handoff_rows=0 if rebal is None else rebal.handoff_rows)
 
     # ------------------------------------------------------------------ #
     def _pool_report(self, arrivals: list[StreamArrival],

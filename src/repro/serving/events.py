@@ -17,13 +17,33 @@ Event types
 :class:`ServiceEndEvent`    a server finishes a job (frees the server)
 :class:`MailEvent`          cross-shard edge mail, at delivery time (trace)
 :class:`SyncEvent`          memory rows pulled/pushed between shards (trace)
+:class:`MigrationEvent`     a vertex changes owner mid-run (scheduled)
 
 At equal timestamps events fire in a fixed priority order (service ends,
-then dispatches, then flushes, then arrivals) so that e.g. a deadline
-flush scheduled at ``t`` releases *before* an arrival at ``t`` is admitted
-— exactly the tie-breaking the offline :meth:`DynamicBatcher.coalesce`
-reference implements, which is what makes ``ingest="serial"`` replays
-byte-identical to the pre-event-core engine.
+then dispatches, then migrations, then flushes, then arrivals) so that
+e.g. a deadline flush scheduled at ``t`` releases *before* an arrival at
+``t`` is admitted — exactly the tie-breaking the offline
+:meth:`DynamicBatcher.coalesce` reference implements, which is what makes
+``ingest="serial"`` replays byte-identical to the pre-event-core engine.
+
+MigrationEvent lifecycle
+------------------------
+Online rebalancing makes a placement change *just another event*.  The
+:class:`~repro.serving.rebalance.OnlineRebalancer` watches per-shard
+utilization and queue depth over a rolling window of released jobs; when a
+shard runs hot (or, in the hybrid topology, a vertex's measured heat
+crosses the promote/demote band) it **schedules** a
+:class:`MigrationEvent` at the current instant with the ``_MIGRATE``
+priority.  When the event fires, the rebalancer applies it: the
+:class:`~repro.serving.router.ShardRouter` reassigns the vertex (the next
+flush routes under the new ownership — in-flight sub-jobs complete under
+the old one, exactly like a real handoff), the
+:class:`~repro.serving.memsync.VersionedMemoryCache` transfers ownership
+so version counters stay exact across the change, and the state handoff
+(``rows`` memory rows + neighbor-table slices) is priced through the same
+``mail_hop_s`` die-crossing machinery as :class:`SyncEvent` traffic.  The
+event lands in the trace like every other kind, so the invariant tests can
+replay the full ownership history.
 
 Actors
 ------
@@ -71,7 +91,7 @@ from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
 
 __all__ = [
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
-    "MailEvent", "SyncEvent", "EventScheduler", "ServedJob",
+    "MailEvent", "SyncEvent", "MigrationEvent", "EventScheduler", "ServedJob",
     "SimulationResult", "ServerGroup", "BatcherActor", "RouterActor",
     "Submission", "INGEST_MODES",
 ]
@@ -79,7 +99,10 @@ __all__ = [
 INGEST_MODES = ("serial", "pipelined")
 
 # Priority of event kinds at equal timestamps (lower fires first).
-_END, _DISPATCH, _FLUSH, _ARRIVAL = range(4)
+# Migrations land between dispatches and flushes: a placement change
+# decided at ``t`` applies before the next job released at ``t`` is
+# routed, but never retracts a submission already made.
+_END, _DISPATCH, _MIGRATE, _FLUSH, _ARRIVAL = range(5)
 
 
 # --------------------------------------------------------------------------- #
@@ -144,6 +167,27 @@ class SyncEvent:
     shard: int
     rows: int
     kind: str
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """Vertex ``vertex`` changes owner ``from_shard -> to_shard`` at ``t``.
+
+    ``rows`` is the priced state handoff (memory row + neighbor-table
+    slice); ``reason`` names the trigger: ``"overload"`` (donor shard above
+    the utilization threshold), ``"heat-up"`` (hybrid pool vertex promoted
+    to a dedicated shard) or ``"cool-down"`` (hybrid hot-shard vertex
+    demoted to the pool).  Unlike the trace-only mail/sync kinds this event
+    is *scheduled*: its handler applies the ownership change, so the trace
+    position is exactly the instant routing semantics changed.
+    """
+
+    t: float
+    vertex: int
+    from_shard: int
+    to_shard: int
+    rows: int
+    reason: str
 
 
 # --------------------------------------------------------------------------- #
@@ -323,6 +367,16 @@ class ServerGroup:
     def hungry(self) -> bool:
         """An idle server with nothing queued: batching gains nothing."""
         return bool(self._idle) and not self._waiting
+
+    @property
+    def busy_s(self) -> float:
+        """Cumulative service seconds committed so far (live, mid-run)."""
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (in-service excluded), live, mid-run."""
+        return len(self._waiting)
 
     def submit(self, t: float, payload) -> None:
         """Admit (or drop) a job arriving at the current event time."""

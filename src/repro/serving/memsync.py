@@ -194,6 +194,39 @@ class VersionedMemoryCache:
                     pushes[shard] = tgt
         return pushes
 
+    def transfer_ownership(self, vertices, from_shards, to_shard: int
+                           ) -> None:
+        """Move ownership of ``vertices`` from ``from_shards`` to
+        ``to_shard`` (an online migration's coherence side).
+
+        The handoff delivers the vertices' *current* rows to the new
+        owner, so its copy is stamped with the current version — a
+        migrated-in vertex is never spuriously stale, and subsequent owner
+        writes keep bumping the same counter (version history survives the
+        ownership change; the exactness tests rely on this).  The old
+        owner keeps its physical copy, which is exact at handoff time, so
+        it is registered as an up-to-date *mirror*: under ``push`` it
+        keeps receiving updates while present, under ``invalidate``/
+        ``none`` it simply ages like any other mirror.
+
+        The caller flips the routing side separately
+        (:meth:`~repro.serving.router.ShardRouter.migrate`) and prices the
+        transferred rows; this method only maintains coherence metadata.
+        """
+        v = np.asarray(vertices, dtype=np.int64)
+        f = np.broadcast_to(np.asarray(from_shards, dtype=np.int64),
+                            v.shape)
+        if not 0 <= int(to_shard) < self.num_shards:
+            raise ValueError("to_shard out of range")
+        # Old-owner bookkeeping first so a degenerate from == to transfer
+        # resolves to "still the holder", not a holder-mirror hybrid.
+        self._holder[f, v] = False
+        self._mirror[f, v] = True
+        self.mirror_version[f, v] = self.version[v]
+        self._holder[to_shard, v] = True
+        self._mirror[to_shard, v] = False
+        self.mirror_version[to_shard, v] = self.version[v]
+
 
 # --------------------------------------------------------------------------- #
 class ShardedRuntime:
@@ -219,6 +252,12 @@ class ShardedRuntime:
     tables and embeddings are bit-identical to an unsharded replay;
     ``'none'`` reproduces the stale-mirror divergence this module exists
     to close (and measures it).
+
+    :meth:`migrate` is the online-rebalancing hook: ownership moves
+    between batches with the full state handoff (memory rows +
+    neighbor-table slices + version-counter transfer), and the exactness
+    guarantee above survives the move — the acceptance suite in
+    ``tests/unit/test_rebalance.py``.
     """
 
     def __init__(self, model, graph, num_shards: int | None = None,
@@ -256,6 +295,71 @@ class ShardedRuntime:
             dst.mailbox[rows] = src.mailbox[rows]
             dst.mail_time[rows] = src.mail_time[rows]
             dst.last_update[rows] = src.last_update[rows]
+
+    def migrate(self, vertices, to_shard: int) -> int:
+        """Move ownership of ``vertices`` to ``to_shard`` between batches,
+        with the full state handoff an online migration performs.
+
+        Three transfers make the new owner exact (and keep every
+        subsequent replay bit-identical to the unsharded runtime under the
+        sync policies):
+
+        1. *memory rows* — memory, mailbox, mail-time, and last-update
+           rows copied from the old owner, whose rows are exact because it
+           held the vertex;
+        2. *neighbor-table slice* — the vertex's FIFO ring (neighbors,
+           edge ids, times, head, count) copied verbatim, so the new
+           owner's gathered neighbor lists equal the unsharded table's;
+        3. *coherence metadata* — :meth:`VersionedMemoryCache.\
+transfer_ownership` stamps the new owner current and downgrades the old
+           owner to an up-to-date mirror, so version counters stay exact
+           across the ownership change.
+
+        The handoff is priced like sync traffic: ``HANDOFF_ROWS_PER_VERTEX``
+        rows per vertex recorded in the mailbox's ``sync_counts``.
+        Replicated vertices are refused (the router enforces it).  Returns
+        the number of vertices actually moved (those not already owned by
+        ``to_shard``).
+        """
+        from .rebalance import HANDOFF_ROWS_PER_VERTEX
+        v = np.unique(np.asarray(vertices, dtype=np.int64))
+        # Validate everything before touching any state: the copy loop
+        # below mutates the destination runtime and records sync traffic,
+        # so a late refusal would leave a half-applied migration behind.
+        if not 0 <= int(to_shard) < self.router.num_shards:
+            raise ValueError("to_shard out of range")
+        if len(v) and (v.min() < 0 or v.max() >= self.router.num_nodes):
+            raise ValueError("vertex out of range")
+        for x in v:
+            if self.router.placement.replicas.get(int(x)):
+                raise ValueError(
+                    f"cannot migrate replicated vertex {int(x)}")
+        owners = self.router.assignment[v]
+        v = v[owners != int(to_shard)]
+        owners = owners[owners != int(to_shard)]
+        if not len(v):
+            return 0
+        dst_state = self.runtimes[to_shard].state
+        dst_table = self.runtimes[to_shard].sampler.table
+        for owner in np.unique(owners):
+            rows = v[owners == owner]
+            src_state = self.runtimes[owner].state
+            src_table = self.runtimes[owner].sampler.table
+            dst_state.memory[rows] = src_state.memory[rows]
+            dst_state.mailbox[rows] = src_state.mailbox[rows]
+            dst_state.mail_time[rows] = src_state.mail_time[rows]
+            dst_state.last_update[rows] = src_state.last_update[rows]
+            dst_table._nbrs[rows] = src_table._nbrs[rows]
+            dst_table._eids[rows] = src_table._eids[rows]
+            dst_table._times[rows] = src_table._times[rows]
+            dst_table._head[rows] = src_table._head[rows]
+            dst_table._count[rows] = src_table._count[rows]
+            self.mailbox.record_sync(
+                np.repeat(owner, len(rows) * HANDOFF_ROWS_PER_VERTEX),
+                to_shard)
+        self.router.migrate(v, to_shard)
+        self.cache.transfer_ownership(v, owners, to_shard)
+        return len(v)
 
     def process_batch(self, batch: EdgeBatch) -> dict[int, "BatchResult"]:
         """Process one chronological batch across all shards.

@@ -31,9 +31,12 @@ Policies
     PR 1's behavior, extracted: Fibonacci-hash the vertex id.  The baseline
     every other policy starts from.
 :class:`LoadAwareRebalance`
-    Profile-guided migration: shards whose measured utilization exceeds a
-    threshold donate their hottest vertices to the coolest shards until the
-    modeled utilization falls below the threshold (or no move helps).
+    *Two-pass* profile-guided migration: shards whose measured utilization
+    exceeds a threshold donate their hottest vertices to the coolest shards
+    until the modeled utilization falls below the threshold (or no move
+    helps).  The same donate-to-coolest rule also runs *online* — reacting
+    mid-run instead of after a profiling pass — as
+    :class:`~repro.serving.rebalance.OnlineRebalancer`.
 :class:`ReplicatedReadMostly`
     Replicates the highest-fanout read-mostly vertices (destination-heavy
     in the interaction stream) onto extra shards.  Replica maintenance is
@@ -239,6 +242,15 @@ class StaticHashPlacement:
 
 class LoadAwareRebalance:
     """Migrate the hottest vertices off shards running above a threshold.
+
+    This is the **two-pass** (profile-then-redeploy) rebalancer: it needs a
+    whole profiling run before it can act, and the migration happens at
+    deployment time, not during a run.  For traffic whose hot set drifts
+    *mid-stream*, use the online path instead —
+    :class:`~repro.serving.rebalance.OnlineRebalancer` applies the same
+    donate-to-coolest rule per measurement window during the run, with the
+    state handoff priced as :class:`~repro.serving.events.MigrationEvent`
+    traffic.
 
     Greedy profile-guided migration: while some shard's modeled utilization
     exceeds ``util_threshold``, move the hottest not-yet-moved vertex from

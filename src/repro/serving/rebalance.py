@@ -1,0 +1,354 @@
+"""Online rebalancing: mid-run vertex migration with priced state handoff.
+
+:class:`~repro.serving.placement.LoadAwareRebalance` is *two-pass*:
+profile a whole run, compute a better placement, redeploy, replay.  Under
+live traffic that reacts a full run too late — hot sets drift mid-stream
+(FlowGNN and DGNN-Booster both treat load shifts as a runtime concern, not
+a compile-time one), and by the time the profile is in, the shard it would
+have unloaded has already melted.  The unified event core makes the online
+alternative natural: a placement change is just another event actors can
+react to.
+
+:class:`OnlineRebalancer` is that actor.  It observes every released job
+(the router calls :meth:`observe` at the release instant), accumulates
+per-vertex heat and per-shard busy time over a rolling window, and when a
+window closes it decides migrations and schedules them as
+:class:`~repro.serving.events.MigrationEvent`\\ s at the current instant.
+When an event fires the rebalancer applies it:
+
+* the :class:`~repro.serving.router.ShardRouter` reassigns the vertex —
+  jobs routed from now on follow the new ownership, while sub-jobs already
+  submitted complete under the old one (a real handoff drains in-flight
+  work the same way);
+* the :class:`~repro.serving.memsync.VersionedMemoryCache` transfers
+  ownership: the new owner receives the current rows (stamped with the
+  current version, so it is never spuriously stale) and the old owner
+  becomes an up-to-date mirror — version counters stay exact across the
+  change, which is what keeps post-migration ``--memsync push`` replays
+  bit-identical to the unsharded runtime;
+* the state handoff — the vertex's memory row plus its neighbor-table
+  slice, :data:`HANDOFF_ROWS_PER_VERTEX` rows — is priced through the same
+  ``mail_hop_s`` die-crossing machinery as
+  :class:`~repro.serving.events.SyncEvent` traffic (the engine charges the
+  hops to the destination shard's next sub-job).
+
+Decision modes
+--------------
+*Sharded* (``pool_shard=None``): overload-driven.  A shard whose
+window utilization exceeds ``util_threshold`` (or whose queue is deeper
+than ``depth_threshold``, when set) donates its hottest window vertices to
+the coolest shard, greedily, until the modeled utilization falls below the
+threshold or the per-window migration cap is hit.
+
+*Hybrid* (``pool_shard`` = the pool pseudo-shard): drift-driven.  A pool
+vertex whose window heat reaches ``promote_heat`` migrates pool -> the
+least-loaded dedicated shard (``"heat-up"``); a dedicated-shard vertex
+whose window heat falls to ``demote_heat`` or below migrates back to the
+pool (``"cool-down"``).  ``promote_heat > demote_heat`` is enforced — the
+dead band is the hysteresis that stops boundary vertices from oscillating.
+
+Convergence guards (the chaos suite pins both): at most
+``max_migrations_per_window`` migrations per window, and a migrated vertex
+is frozen for ``cooldown_windows`` windows — a pathological trace whose
+hot set flips every window cannot ping-pong vertices back and forth.
+
+Under a stationary workload the rebalancer is a no-op: no shard crosses
+the threshold, no vertex crosses the band, zero migrations — so every
+queueing statistic of a rebalancer-enabled run is identical to the plain
+engine's (asserted in ``test_rebalance`` and, at tier-2 scale, in
+``test_queueing_theory``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .events import _MIGRATE, EventScheduler, MigrationEvent, ServerGroup
+
+__all__ = ["OnlineRebalancer", "HANDOFF_ROWS_PER_VERTEX"]
+
+# State rows handed off per migrated vertex: its vertex-memory row (memory
+# + mailbox + timestamps travel as one row, exactly as memsync prices a
+# pull/push) plus its neighbor-table slice (the mr-slot FIFO ring moves as
+# one packed row).  The serving engine prices this count; the functional
+# ShardedRuntime actually copies both and records the same count.
+HANDOFF_ROWS_PER_VERTEX = 2
+
+
+class OnlineRebalancer:
+    """Watches shard load over a rolling window; migrates vertices mid-run.
+
+    Construct once with the policy knobs; the engine calls :meth:`bind` at
+    the start of every run (resetting all per-run state) and
+    :meth:`observe` for every released job.  Decisions are scheduled as
+    :class:`~repro.serving.events.MigrationEvent`\\ s and applied by this
+    actor when they fire; ``on_migrate`` (wired by the engine) prices the
+    handoff.
+
+    Parameters
+    ----------
+    window_s:
+        Rolling measurement window, in event-loop seconds.  Heat and busy
+        counters reset every window; decisions happen at window close.
+    util_threshold:
+        Sharded mode: donate off shards whose window utilization exceeds
+        this.
+    max_migrations_per_window:
+        Hard cap on migrations per window (both modes) — the convergence
+        bound the chaos tests assert.
+    cooldown_windows:
+        A migrated vertex may not migrate again for this many windows —
+        the anti-ping-pong guard.
+    hysteresis:
+        Sharded mode: minimum donor-minus-recipient utilization gap before
+        any move happens (moving between near-equal shards just churns
+        state).
+    depth_threshold:
+        Optional sharded-mode trigger: a shard whose live queue depth
+        exceeds this at window close counts as overloaded even if its
+        utilization has not caught up yet (queues build before busy-time
+        averages move).  ``None`` disables it.
+    promote_heat / demote_heat:
+        Hybrid mode band: a pool vertex with ``>= promote_heat`` incident
+        edges in the window is promoted; a dedicated-shard vertex with
+        ``<= demote_heat`` is demoted.  ``promote_heat > demote_heat``
+        is required (the dead band is the hysteresis).
+
+    Every migration prices :data:`HANDOFF_ROWS_PER_VERTEX` rows — the
+    same count the functional :meth:`~repro.serving.memsync.\
+ShardedRuntime.migrate` records, so the timing report and the functional
+    model never disagree on the handoff bill.
+    """
+
+    def __init__(self, window_s: float, util_threshold: float = 0.75,
+                 max_migrations_per_window: int = 8,
+                 cooldown_windows: int = 2, hysteresis: float = 0.05,
+                 depth_threshold: int | None = None,
+                 promote_heat: int = 8, demote_heat: int = 1):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if util_threshold <= 0:
+            raise ValueError("util_threshold must be positive")
+        if max_migrations_per_window <= 0:
+            raise ValueError("max_migrations_per_window must be positive")
+        if cooldown_windows < 0:
+            raise ValueError("cooldown_windows must be non-negative")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if depth_threshold is not None and depth_threshold <= 0:
+            raise ValueError("depth_threshold must be positive")
+        if promote_heat <= demote_heat:
+            raise ValueError("promote_heat must exceed demote_heat "
+                             "(the gap is the hysteresis band)")
+        self.window_s = float(window_s)
+        self.util_threshold = float(util_threshold)
+        self.max_migrations_per_window = int(max_migrations_per_window)
+        self.cooldown_windows = int(cooldown_windows)
+        self.hysteresis = float(hysteresis)
+        self.depth_threshold = depth_threshold
+        self.promote_heat = int(promote_heat)
+        self.demote_heat = int(demote_heat)
+        self._bound = False
+
+    # ------------------------------------------------------------------ #
+    def bind(self, sched: EventScheduler, groups: Sequence[ServerGroup],
+             router, cache=None, pool_shard: int | None = None,
+             on_migrate: Callable[[MigrationEvent], None] | None = None
+             ) -> None:
+        """Attach to one run, resetting all per-run state.
+
+        ``pool_shard`` switches hybrid drift mode on (it names the pool
+        pseudo-shard); ``cache`` is the run's memsync cache (ownership is
+        transferred through it so version counters survive the move);
+        ``on_migrate`` is the engine's pricing hook.
+        """
+        if pool_shard is not None \
+                and not 0 <= pool_shard < router.num_shards:
+            raise ValueError("pool_shard out of range")
+        self._sched = sched
+        self._groups = list(groups)
+        self._router = router
+        self._cache = cache
+        self._pool_shard = pool_shard
+        self._on_migrate = on_migrate
+        n = router.num_nodes
+        self._heat = np.zeros(n, dtype=np.int64)
+        self._window_start: float | None = None
+        self._busy_mark = np.zeros(len(self._groups))
+        self._window_index = 0
+        self._frozen_until: dict[int, int] = {}
+        self.migration_log: list[MigrationEvent] = []
+        self.migrations_per_window: list[int] = []
+        self.handoff_rows = 0
+        self._bound = True
+
+    @property
+    def migrations(self) -> int:
+        return len(self.migration_log)
+
+    @property
+    def migrated_vertices(self) -> int:
+        """Distinct vertices that moved at least once this run."""
+        return len({ev.vertex for ev in self.migration_log})
+
+    # ------------------------------------------------------------------ #
+    def observe(self, t: float, batch) -> None:
+        """Account one released job's edges; evaluate at window close."""
+        if not self._bound:
+            raise RuntimeError("bind() the rebalancer to a run first")
+        if self._window_start is None:
+            self._window_start = t
+            self._busy_mark = np.array([g.busy_s for g in self._groups])
+        np.add.at(self._heat, batch.src, 1)
+        np.add.at(self._heat, batch.dst, 1)
+        if t - self._window_start >= self.window_s:
+            self._evaluate(t)
+            self._window_index += 1
+            self._window_start = t
+            self._heat[:] = 0
+            self._busy_mark = np.array([g.busy_s for g in self._groups])
+
+    # ------------------------------------------------------------------ #
+    def _movable(self, v: int) -> bool:
+        """Not replicated (migrating a replica would orphan its copies)
+        and not inside its post-migration cooldown."""
+        if int(v) in self._router.placement.replicas:
+            return False
+        return self._frozen_until.get(int(v), -1) <= self._window_index
+
+    def _emit(self, t: float, v: int, to_shard: int, reason: str) -> None:
+        ev = MigrationEvent(t=t, vertex=int(v),
+                            from_shard=int(self._router.assignment[v]),
+                            to_shard=int(to_shard),
+                            rows=HANDOFF_ROWS_PER_VERTEX,
+                            reason=reason)
+        # Freeze at decision time so one window never double-moves a
+        # vertex; the cooldown counts from the *next* window.
+        self._frozen_until[int(v)] = self._window_index + 1 \
+            + self.cooldown_windows
+        self._sched.schedule(t, _MIGRATE, ev, self._apply)
+        self.migration_log.append(ev)
+
+    def _apply(self, ev: MigrationEvent) -> None:
+        """Fire: reassign ownership and hand the state off, priced."""
+        owner = int(self._router.assignment[ev.vertex])
+        if owner != ev.from_shard:
+            raise RuntimeError(
+                f"migration of vertex {ev.vertex} expected owner "
+                f"{ev.from_shard} but found {owner}: ownership changed "
+                f"between decision and application")
+        self._router.migrate([ev.vertex], ev.to_shard)
+        if self._cache is not None:
+            self._cache.transfer_ownership([ev.vertex], [ev.from_shard],
+                                           ev.to_shard)
+        self.handoff_rows += ev.rows
+        if self._on_migrate is not None:
+            self._on_migrate(ev)
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, t: float) -> None:
+        span = t - self._window_start
+        if span <= 0:
+            self.migrations_per_window.append(0)
+            return
+        busy = np.array([g.busy_s for g in self._groups]) - self._busy_mark
+        servers = np.array([g.num_servers for g in self._groups])
+        util = busy / (span * servers)
+        before = len(self.migration_log)
+        if self._pool_shard is None:
+            self._evaluate_overload(t, util)
+        else:
+            self._evaluate_drift(t, util)
+        self.migrations_per_window.append(len(self.migration_log) - before)
+
+    def _evaluate_overload(self, t: float, util: np.ndarray) -> None:
+        """Sharded mode: donate the hottest window vertices off the
+        hottest overloaded shard onto the coolest shard."""
+        if len(self._groups) < 2:
+            return          # a lone shard has nowhere to donate: no-op
+        depth = np.array([g.queue_depth for g in self._groups])
+        util_hot = util > self.util_threshold
+        depth_hot = np.zeros(len(util), dtype=bool) \
+            if self.depth_threshold is None \
+            else depth > self.depth_threshold
+        hot = util_hot | depth_hot
+        if not hot.any():
+            return
+        donor = int(np.argmax(np.where(hot, util, -np.inf)))
+        others = [s for s in range(len(util)) if s != donor]
+        recipient = min(others, key=lambda s: (util[s], depth[s], s))
+        # A donor flagged only by its queue depth carries direct evidence
+        # of overload that the busy-time average has not caught up with
+        # (service committed before the window opened does not move
+        # ``util``), so depth evidence bypasses the utilization gates.
+        by_depth = bool(depth_hot[donor]) and not util_hot[donor]
+        if not by_depth \
+                and util[donor] - util[recipient] <= self.hysteresis:
+            return
+        on_donor = self._router.assignment == donor
+        heat = np.where(on_donor, self._heat, 0)
+        donor_heat = int(heat.sum())
+        if donor_heat <= 0:
+            return
+        # Hottest-first, vertex id breaking ties — deterministic.
+        order = np.lexsort((np.arange(len(heat)), -heat))
+        est_donor, est_recipient = float(util[donor]), float(util[recipient])
+        moved = 0
+        for v in order:
+            if moved >= self.max_migrations_per_window:
+                break
+            if heat[v] <= 0:
+                break                       # only measured-hot vertices move
+            if not self._movable(v):
+                continue
+            # Model the move by heat share; never leave the recipient
+            # worse than the donor started (the termination rule
+            # LoadAwareRebalance uses, applied online).  Queue-depth
+            # evidence skips the model: its utilization inputs are the
+            # very numbers that failed to flag the overload.
+            delta = float(util[donor]) * heat[v] / donor_heat
+            if not by_depth and est_recipient + delta >= float(util[donor]):
+                continue
+            self._emit(t, v, recipient, "overload")
+            est_donor -= delta
+            est_recipient += delta
+            moved += 1
+            if not by_depth and est_donor <= self.util_threshold:
+                break
+
+    def _evaluate_drift(self, t: float, util: np.ndarray) -> None:
+        """Hybrid mode: promote heating pool vertices onto dedicated
+        shards, demote cooled dedicated-shard vertices into the pool."""
+        pool = self._pool_shard
+        assignment = self._router.assignment
+        budget = self.max_migrations_per_window
+        # Cool-downs first: they free dedicated-shard capacity that the
+        # promotions below immediately want.
+        on_hot = np.flatnonzero(assignment != pool)
+        cooled = on_hot[self._heat[on_hot] <= self.demote_heat]
+        for v in cooled:
+            if budget <= 0:
+                return
+            if not self._movable(v):
+                continue
+            self._emit(t, v, pool, "cool-down")
+            budget -= 1
+        hot_shards = [s for s in range(len(self._groups)) if s != pool]
+        # Least-loaded-first target selection, tracked across this
+        # window's promotions so a burst spreads instead of stacking.
+        load = {s: float(util[s]) for s in hot_shards}
+        in_pool = np.flatnonzero(assignment == pool)
+        heated = in_pool[self._heat[in_pool] >= self.promote_heat]
+        order = np.lexsort((heated, -self._heat[heated]))
+        pool_heat = max(int(self._heat[in_pool].sum()), 1)
+        for v in heated[order]:
+            if budget <= 0:
+                return
+            if not self._movable(v):
+                continue
+            target = min(hot_shards, key=lambda s: (load[s], s))
+            self._emit(t, v, target, "heat-up")
+            load[target] += float(util[pool]) * self._heat[v] / pool_heat
+            budget -= 1

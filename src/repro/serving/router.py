@@ -149,6 +149,40 @@ class ShardRouter:
         """Primary owner of each vertex (replicas are extra holders)."""
         return self.assignment[np.asarray(vertices, dtype=np.int64)]
 
+    def migrate(self, vertices: np.ndarray, to_shard: int) -> np.ndarray:
+        """Reassign ownership of ``vertices`` to ``to_shard``, mid-run.
+
+        The online-rebalancing primitive: mutates the live placement's
+        assignment (and this router's holder membership) in place, so the
+        very next :meth:`split` routes under the new ownership.  Ownership
+        stays exactly-once by construction — one assignment entry per
+        vertex, flipped atomically inside a single event handler.
+
+        Replicated vertices are refused: moving the primary out from under
+        its replica set would break the :class:`Placement` owner/replica
+        invariant (de-replicate first).  The caller is responsible for the
+        *state* side of the handoff — transferring rows and informing the
+        memsync cache (:meth:`VersionedMemoryCache.transfer_ownership`),
+        which the :class:`~repro.serving.rebalance.OnlineRebalancer` and
+        :meth:`~repro.serving.memsync.ShardedRuntime.migrate` both do.
+
+        Returns the previous owner of each vertex.
+        """
+        v = np.unique(np.asarray(vertices, dtype=np.int64))
+        if len(v) and (v.min() < 0 or v.max() >= self.num_nodes):
+            raise ValueError("vertex out of range")
+        if not 0 <= int(to_shard) < self.num_shards:
+            raise ValueError("to_shard out of range")
+        for x in v:
+            if self.placement.replicas.get(int(x)):
+                raise ValueError(
+                    f"cannot migrate replicated vertex {int(x)}")
+        old = self.assignment[v].copy()
+        self._member[old, v] = False
+        self.assignment[v] = int(to_shard)
+        self._member[int(to_shard), v] = True
+        return old
+
     def split(self, batch: EdgeBatch,
               mailbox: CrossShardMailbox | None = None,
               cache=None) -> list[ShardBatch]:

@@ -239,8 +239,12 @@ class TestServeSim:
 
 class TestServeSimGolden:
     """``--ingest serial`` reports are byte-identical to the pre-event-core
-    engine: the golden files were generated by the PR 3 engine (before the
-    unified scheduler refactor) and pin the serial path bit-for-bit."""
+    engine: the first three golden files were generated by the PR 3 engine
+    (before the unified scheduler refactor) and pin the serial path
+    bit-for-bit.  Later goldens pin the PR that introduced their feature —
+    ``serve_sim_rebalance_online.json`` freezes the online-rebalancing
+    migration accounting (migration count, handoff rows, post-migration
+    queueing statistics) so future PRs cannot silently change it."""
 
     GOLDEN_DIR = os.path.join(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))), "tests", "golden")
@@ -255,6 +259,9 @@ class TestServeSimGolden:
         "serve_sim_memsync_batched.json": [
             "--memsync", "push", "--deadline-ms", "50",
             "--batch-edges", "128", "--placement", "replicate"],
+        "serve_sim_rebalance_online.json": [
+            "--speedup", "2000", "--rebalance-online",
+            "--rebalance-threshold", "0.05"],
     }
 
     @pytest.mark.parametrize("golden,extra", sorted(CASES.items()))
@@ -348,6 +355,78 @@ class TestServeSimHybridAndIngest:
         report = json.loads(a)
         assert report["topology"] == "hybrid"
         assert report["ingest"] == "pipelined"
+
+
+class TestServeSimRebalanceOnline:
+    BASE = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+            "--shards", "4", "--streams", "2", "--backend", "cpu-32t",
+            "--window-s", "3600", "--memory-dim", "8", "--seed", "0"]
+
+    def test_online_rebalance_prints_migration_summary(self):
+        code, text = run(self.BASE + ["--speedup", "2000",
+                                      "--rebalance-online",
+                                      "--rebalance-threshold", "0.05"])
+        assert code == 0
+        assert "rebalance online:" in text
+        assert "state rows handed off" in text
+
+    def test_stationary_load_reports_zero_migrations(self):
+        """At the default light load no shard crosses the threshold: the
+        rebalancer runs but must be a no-op."""
+        code, text = run(self.BASE + ["--rebalance-online"])
+        assert code == 0
+        assert "rebalance online: 0 migration(s)" in text
+
+    def test_json_carries_migration_accounting(self, tmp_path):
+        import json
+        path = str(tmp_path / "r.json")
+        code, _ = run(self.BASE + ["--speedup", "2000",
+                                   "--rebalance-online",
+                                   "--rebalance-threshold", "0.05",
+                                   "--json", path])
+        assert code == 0
+        with open(path) as f:
+            report = json.load(f)
+        assert report["rebalance"] == "online"
+        assert report["migrations"] > 0
+        assert report["handoff_rows"] > 0
+        assert report["migrated_vertices"] > 0
+
+    def test_without_flag_json_has_no_rebalance_keys(self, tmp_path):
+        import json
+        path = str(tmp_path / "r.json")
+        code, _ = run(self.BASE + ["--json", path])
+        assert code == 0
+        with open(path) as f:
+            report = json.load(f)
+        for key in ("rebalance", "migrations", "migrated_vertices",
+                    "handoff_rows"):
+            assert key not in report
+
+    def test_pool_topology_ignores_flag_with_note(self):
+        code, text = run(self.BASE + ["--topology", "pool",
+                                      "--rebalance-online"])
+        assert code == 0
+        assert "--rebalance-online is ignored in pool topology" in text
+        assert "rebalance online:" not in text
+
+    def test_hybrid_topology_runs_drift_mode(self):
+        code, text = run(self.BASE + ["--topology", "hybrid",
+                                      "--shards", "2",
+                                      "--rebalance-online",
+                                      "--rebalance-window", "1.0"])
+        assert code == 0
+        assert "rebalance online:" in text
+
+    def test_rebalance_json_determinism(self, tmp_path):
+        argv = self.BASE + ["--speedup", "2000", "--rebalance-online",
+                            "--rebalance-threshold", "0.05"]
+        paths = [str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        for path in paths:
+            code, _ = run(argv + ["--json", path])
+            assert code == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
 
 
 class TestDseTrace:

@@ -181,6 +181,37 @@ def test_kingman_klb_erlang_arrivals_deterministic_service(k):
     assert res.mean_wait_s < kingman_ggc_mean_wait(lam, mu, 1, 1.0, 0.0)
 
 
+@pytest.mark.tier2
+def test_online_rebalancer_is_noop_on_stationary_workload():
+    """Under a stationary workload the online rebalancer must not act, so
+    every closed-form check above transfers unchanged to rebalancer-enabled
+    runs: zero migrations, and the full serving report — every wait,
+    utilization, and percentile the M/M/c-validated core produced — is
+    bit-identical to the plain engine's at statistical sample size.
+    """
+    from repro.datasets import wikipedia_like
+    from repro.pipeline import LinearCostBackend
+    from repro.serving import OnlineRebalancer, ServingEngine
+
+    g = wikipedia_like(num_edges=20_000, num_users=2_000, num_items=300)
+
+    def run(rebalancer):
+        engine = ServingEngine(
+            [LinearCostBackend(per_edge_s=1e-3) for _ in range(4)],
+            g.num_nodes, rebalancer=rebalancer)
+        return engine.run(g, window_s=3600.0, speedup=5.0, num_streams=2)
+
+    base = run(None)
+    rebalanced = run(OnlineRebalancer(window_s=200.0))
+    assert rebalanced.migrations == 0
+    assert rebalanced.handoff_rows == 0
+    d_base, d_reb = base.to_dict(), rebalanced.to_dict()
+    for key in ("rebalance", "migrations", "migrated_vertices",
+                "handoff_rows"):
+        d_reb.pop(key)
+    assert d_reb == d_base
+
+
 # --------------------------------------------------------------------------- #
 # Tier-1: fast invariants on the same machinery
 
