@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CI guard for the event-core perf trajectory.
+
+Compares the ``BENCH_events_per_sec.json`` artifact emitted by
+``bench_serving_scale.py::test_event_core_speedup`` against the committed
+baseline in ``benchmarks/baselines/events_per_sec.json`` and fails when
+the vectorized-vs-heap speedup ratio regresses by more than the allowed
+tolerance.  The ratio — not absolute events/sec — is compared because
+both lanes run on the same machine in the same process, so the ratio is
+hardware-independent while absolute throughput is not.
+
+Usage::
+
+    python benchmarks/check_perf_trajectory.py \
+        results/BENCH_events_per_sec.json \
+        benchmarks/baselines/events_per_sec.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOLERANCE = 0.20   # fail below (1 - TOLERANCE) x baseline ratio
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    current_path, baseline_path = argv[1], argv[2]
+    with open(current_path) as fh:
+        current = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    cur = float(current["speedup_ratio"])
+    base = float(baseline["speedup_ratio"])
+    floor = (1.0 - TOLERANCE) * base
+    print(f"event-core speedup ratio: current {cur:.2f}x, "
+          f"baseline {base:.2f}x, floor {floor:.2f}x "
+          f"(tolerance {TOLERANCE:.0%})")
+    if cur < floor:
+        print(f"FAIL: event core regressed more than {TOLERANCE:.0%} "
+              f"below the committed baseline "
+              f"({cur:.2f}x < {floor:.2f}x). If the regression is "
+              f"intentional, update benchmarks/baselines/"
+              f"events_per_sec.json in the same change.")
+        return 1
+    if cur > base * (1.0 + TOLERANCE):
+        # Not a failure — but invite a baseline bump so the guard stays
+        # tight around reality.
+        print(f"note: current ratio {cur:.2f}x is well above baseline; "
+              f"consider raising the committed baseline.")
+    print("OK: event-core perf trajectory holds.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

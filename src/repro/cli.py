@@ -173,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical across runs with the same arguments on "
                         "the modeled/simulated backends; the 'software' "
                         "backend measures wall-clock and will differ)")
+    v.add_argument("--profile", action="store_true",
+                   help="replay the same workload under the reference heap "
+                        "scheduler and the vectorized scheduler, print the "
+                        "before/after event-core breakdown (events/sec, "
+                        "handler calls), and verify the two reports are "
+                        "byte-identical; the printed report comes from the "
+                        "vectorized lane")
     v.add_argument("--model", default=None,
                    help="optional checkpoint (.npz); default builds NP(4)")
     v.add_argument("--memory-dim", type=int, default=32)
@@ -379,11 +386,11 @@ def cmd_serve_sim(args, out=print) -> int:
             registry=DEFAULT_REGISTRY, backend_kwargs=backend_kwargs,
             batcher=batcher, topology=args.topology, **kwargs)
 
-    def run(engine):
+    def run(engine, scheduler_cls=None):
         return engine.run(graph, window_s=args.window_s,
                           speedup=args.speedup, num_streams=args.streams,
                           queue_capacity=args.queue_capacity,
-                          ingest=args.ingest)
+                          ingest=args.ingest, scheduler_cls=scheduler_cls)
 
     def plan_dies(placement):
         if fpga_design is None or args.topology == "pool":
@@ -447,7 +454,7 @@ def cmd_serve_sim(args, out=print) -> int:
                 f"topology (replicas share one state store, so nothing "
                 f"is ever stale)")
 
-    rebalancer = None
+    rebal_kwargs = None
     if args.rebalance_online:
         if args.topology == "pool":
             out("note: --rebalance-online is ignored in pool topology "
@@ -458,12 +465,50 @@ def cmd_serve_sim(args, out=print) -> int:
             window = args.rebalance_window \
                 if args.rebalance_window is not None \
                 else args.window_s / args.speedup
-            rebalancer = OnlineRebalancer(
-                window_s=window, util_threshold=args.rebalance_threshold)
+            rebal_kwargs = dict(window_s=window,
+                                util_threshold=args.rebalance_threshold)
 
-    engine = build_engine(placement=placement, die_of=plan_dies(placement),
-                          rebalancer=rebalancer)
-    report = run(engine)
+    if args.profile:
+        # Two independent replays of the identical workload — fresh
+        # engine, placement, and rebalancer per lane so neither warm
+        # state nor mid-run migrations leak across.  Timing covers the
+        # event loop only (engine.last_loop_wall_s): setup and report
+        # assembly are identical in both lanes and would dilute the
+        # scheduler comparison.
+        import copy as _copy
+        from .profiling import event_core_breakdown, format_table
+        from .serving import HeapEventScheduler
+
+        def lane(scheduler_cls):
+            pl = _copy.deepcopy(placement)
+            reb = OnlineRebalancer(**rebal_kwargs) \
+                if rebal_kwargs is not None else None
+            eng = build_engine(placement=pl, die_of=plan_dies(pl),
+                               rebalancer=reb)
+            rep = run(eng, scheduler_cls=scheduler_cls)
+            s = eng.last_scheduler
+            calls = s.events_processed \
+                - getattr(s, "cohort_events", 0) \
+                + getattr(s, "cohort_calls", 0)
+            return rep, {"events": s.events_processed,
+                         "wall_s": eng.last_loop_wall_s,
+                         "cohort_calls": calls}
+
+        before_report, before_lane = lane(HeapEventScheduler)
+        report, after_lane = lane(None)
+        rows = event_core_breakdown(before_lane, after_lane)
+        out("event core profile (same workload, both schedulers):")
+        out(format_table(rows, precision=3))
+        identical = before_report.to_json() == report.to_json()
+        out(f"event core speedup {rows[-1]['events_per_sec']:.2f}x, "
+            f"reports byte-identical: {'yes' if identical else 'NO'}")
+    else:
+        rebalancer = OnlineRebalancer(**rebal_kwargs) \
+            if rebal_kwargs is not None else None
+        engine = build_engine(placement=placement,
+                              die_of=plan_dies(placement),
+                              rebalancer=rebalancer)
+        report = run(engine)
 
     if args.topology == "pool":
         label = (f"serve-sim: pool of {report.pool_servers} "

@@ -42,6 +42,24 @@ from .time_encoding import CosineTimeEncoder, LUTTimeEncoder
 __all__ = ["TGNN", "ModelRuntime", "BatchResult", "MemoryUpdate"]
 
 
+def _assemble_endpoints(batch: EdgeBatch) -> tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray, np.ndarray]:
+    """Per-batch endpoint assembly shared by both pipeline stages.
+
+    Returns ``(nodes, t_nodes, uniq, inverse)``: the interleaved endpoint
+    ids, each endpoint's edge timestamp (every edge contributes its ``t``
+    twice — once per endpoint), and the unique-vertex table with the
+    inverse map back to endpoint rows.  Every memory-update entry point
+    (autograd, numpy, LUT-premultiplied) starts from exactly this tuple,
+    and ``infer_batch`` reuses ``t_nodes`` downstream instead of
+    recomputing the repeat.
+    """
+    nodes = batch.nodes
+    t_nodes = np.repeat(batch.t, 2)
+    uniq, inverse = np.unique(nodes, return_inverse=True)
+    return nodes, t_nodes, uniq, inverse
+
+
 @dataclass
 class ModelRuntime:
     """Mutable per-stream state: vertex tables + neighbor FIFO.
@@ -183,16 +201,29 @@ class TGNN(Module):
     # ------------------------------------------------------------------ #
     # shared per-batch preparation                                        #
     # ------------------------------------------------------------------ #
+    def _refresh_mail(self, rt: ModelRuntime, batch: EdgeBatch,
+                      nodes: np.ndarray, t_nodes: np.ndarray,
+                      inverse: np.ndarray, updated: np.ndarray) -> None:
+        """Refresh cached messages with the new signals (last write wins)."""
+        mem_src = updated[inverse[0::2]]
+        mem_dst = updated[inverse[1::2]]
+        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst,
+                                              batch.edge_feat)
+        msgs = np.empty((len(nodes), self.cfg.raw_message_dim))
+        msgs[0::2] = msg_src
+        msgs[1::2] = msg_dst
+        rt.state.write_mail(nodes, msgs, t_nodes)
+
     def _update_memory_np(self, batch: EdgeBatch, rt: ModelRuntime
-                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Algorithm 1 lines 3-8 (numpy): returns (nodes, inverse, updated).
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray]:
+        """Algorithm 1 lines 3-8 (numpy): returns (nodes, t_nodes, inverse,
+        updated).
 
         ``updated`` holds the post-GRU memory for the batch's unique
         vertices; state (memory + mailbox) is committed as a side effect.
         """
-        nodes = batch.nodes
-        t_nodes = np.repeat(batch.t, 2)
-        uniq, inverse = np.unique(nodes, return_inverse=True)
+        nodes, t_nodes, uniq, inverse = _assemble_endpoints(batch)
         mem, mail, mail_t, last = rt.state.read(uniq)
         has_mail = mail_t > -np.inf
         updated = mem.copy()
@@ -203,15 +234,8 @@ class TGNN(Module):
             updated[idx] = self.memory_updater.forward_numpy(
                 mail[idx], dt, mem[idx], time_features=tf)
             rt.state.write_memory(uniq[idx], updated[idx], mail_t[idx])
-        # Refresh cached messages with the new signals (last write wins).
-        mem_src = updated[inverse[0::2]]
-        mem_dst = updated[inverse[1::2]]
-        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst, batch.edge_feat)
-        msgs = np.empty((len(nodes), self.cfg.raw_message_dim))
-        msgs[0::2] = msg_src
-        msgs[1::2] = msg_dst
-        rt.state.write_mail(nodes, msgs, t_nodes)
-        return nodes, inverse, updated
+        self._refresh_mail(rt, batch, nodes, t_nodes, inverse, updated)
+        return nodes, t_nodes, inverse, updated
 
     def _gru_time_features_np(self, dt: np.ndarray) -> np.ndarray:
         """Time features for the GRU input (LUT premultiplication is applied
@@ -231,10 +255,7 @@ class TGNN(Module):
         separately so distributed runtimes can forward the freshly-written
         rows between the two stages (:mod:`repro.serving.memsync`).
         """
-        cfg = self.cfg
-        nodes = batch.nodes
-        t_nodes = np.repeat(batch.t, 2)
-        uniq, inverse = np.unique(nodes, return_inverse=True)
+        nodes, t_nodes, uniq, inverse = _assemble_endpoints(batch)
         mem, mail, mail_t, last = rt.state.read(uniq)
         has_mail = mail_t > -np.inf
         dt_mail = np.where(has_mail, np.maximum(mail_t - last, 0.0), 0.0)
@@ -244,13 +265,7 @@ class TGNN(Module):
         # Commit detached state before the GNN reads neighbor memory.
         commit_t = np.where(has_mail, mail_t, last)
         rt.state.write_memory(uniq, updated.data, commit_t)
-        mem_src = updated.data[inverse[0::2]]
-        mem_dst = updated.data[inverse[1::2]]
-        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst, batch.edge_feat)
-        msgs = np.empty((len(nodes), cfg.raw_message_dim))
-        msgs[0::2] = msg_src
-        msgs[1::2] = msg_dst
-        rt.state.write_mail(nodes, msgs, t_nodes)
+        self._refresh_mail(rt, batch, nodes, t_nodes, inverse, updated.data)
         return MemoryUpdate(nodes=nodes, t_nodes=t_nodes, inverse=inverse,
                             updated=updated)
 
@@ -365,11 +380,11 @@ class TGNN(Module):
 
         # memory: mailbox consumption + GRU (Table I "memory" part).
         t0 = tic()
-        nodes, inverse, updated = self._update_memory_np_timed(batch, rt)
+        nodes, t_nodes, inverse, updated = \
+            self._update_memory_np_timed(batch, rt)
         t1 = tic()
 
         # sample: neighbor-table fetch (Table I "sample" part).
-        t_nodes = np.repeat(batch.t, 2)
         g = rt.sampler.gather(nodes, cfg.num_neighbors)
         t2 = tic()
 
@@ -400,10 +415,7 @@ class TGNN(Module):
         if cache is None:
             return self._update_memory_np(batch, rt)
         # LUT fast path: time contribution to the input gates is a lookup.
-        cfg = self.cfg
-        nodes = batch.nodes
-        t_nodes = np.repeat(batch.t, 2)
-        uniq, inverse = np.unique(nodes, return_inverse=True)
+        nodes, t_nodes, uniq, inverse = _assemble_endpoints(batch)
         mem, mail, mail_t, last = rt.state.read(uniq)
         has_mail = mail_t > -np.inf
         updated = mem.copy()
@@ -414,14 +426,8 @@ class TGNN(Module):
                 mail[idx], self.time_encoder.bin_index(dt),
                 cache["updt"], mem[idx])
             rt.state.write_memory(uniq[idx], updated[idx], mail_t[idx])
-        mem_src = updated[inverse[0::2]]
-        mem_dst = updated[inverse[1::2]]
-        msg_src, msg_dst = build_raw_messages(mem_src, mem_dst, batch.edge_feat)
-        msgs = np.empty((len(nodes), cfg.raw_message_dim))
-        msgs[0::2] = msg_src
-        msgs[1::2] = msg_dst
-        rt.state.write_mail(nodes, msgs, t_nodes)
-        return nodes, inverse, updated
+        self._refresh_mail(rt, batch, nodes, t_nodes, inverse, updated)
+        return nodes, t_nodes, inverse, updated
 
     def _gru_lut_np(self, raw: np.ndarray, dt: np.ndarray,
                     memory: np.ndarray) -> np.ndarray:

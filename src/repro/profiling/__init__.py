@@ -1,12 +1,13 @@
 """Operation counting and complexity tables (Tables I-II)."""
 
 from . import paper_reference  # noqa: F401
-from .breakdown import format_table, table1_breakdown, table2_ladder  # noqa: F401
+from .breakdown import (event_core_breakdown, format_table,  # noqa: F401
+                        table1_breakdown, table2_ladder)
 from .op_counter import (PARTS, Convention, OpCounts, count_ops,  # noqa: F401
                          count_ops_apan)
 
 __all__ = [
     "Convention", "OpCounts", "count_ops", "count_ops_apan", "PARTS",
-    "table1_breakdown", "table2_ladder", "format_table",
-    "paper_reference",
+    "table1_breakdown", "table2_ladder", "event_core_breakdown",
+    "format_table", "paper_reference",
 ]

@@ -9,7 +9,8 @@ from __future__ import annotations
 from ..models.config import ModelConfig, variant_ladder
 from .op_counter import PARTS, Convention, OpCounts, count_ops
 
-__all__ = ["table1_breakdown", "table2_ladder", "format_table"]
+__all__ = ["table1_breakdown", "table2_ladder", "event_core_breakdown",
+           "format_table"]
 
 
 def table1_breakdown(cfg: ModelConfig,
@@ -58,6 +59,40 @@ def table2_ladder(base: ModelConfig,
             "kMAC_pct": 100.0 * c.total_macs / baseline.total_macs,
             "config": cfg,
         })
+    return rows
+
+
+def event_core_breakdown(before: dict, after: dict) -> list[dict]:
+    """Before/after rows for the serving event core (``serve-sim --profile``).
+
+    ``before`` / ``after`` each describe one scheduler lane as a dict with
+    ``events`` (events processed), ``wall_s`` (loop wall-clock seconds),
+    and optionally ``cohort_calls`` (handler invocations that delivered a
+    cohort; for the per-event heap lane this equals ``events``).  Returns
+    one row per lane plus a ``speedup`` row comparing events/sec, the same
+    list-of-dicts shape as the Table I/II breakdowns so the CLI can render
+    it with :func:`format_table`.
+    """
+    rows = []
+    for name, lane in (("heap (before)", before), ("vectorized (after)",
+                                                   after)):
+        events = int(lane["events"])
+        wall = float(lane["wall_s"])
+        rows.append({
+            "lane": name,
+            "events": events,
+            "handler_calls": int(lane.get("cohort_calls", events)),
+            "wall_s": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        })
+    eps_before, eps_after = (r["events_per_sec"] for r in rows)
+    rows.append({
+        "lane": "speedup",
+        "events": "",
+        "handler_calls": "",
+        "wall_s": "",
+        "events_per_sec": eps_after / eps_before if eps_before else 0.0,
+    })
     return rows
 
 

@@ -6,10 +6,11 @@ under ``results/`` so EXPERIMENTS.md can reference stable artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Sequence
 
-__all__ = ["render_table", "save_result", "section"]
+__all__ = ["render_table", "save_result", "save_json", "section"]
 
 
 def section(title: str) -> str:
@@ -50,4 +51,20 @@ def save_result(name: str, text: str, results_dir: str | None = None) -> str:
     path = os.path.join(base, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    return path
+
+
+def save_json(name: str, obj, results_dir: str | None = None) -> str:
+    """Write ``obj`` as canonical JSON to ``results/<name>.json``.
+
+    Same directory convention as :func:`save_result`; used for
+    machine-readable artifacts like the ``BENCH_events_per_sec``
+    perf-trajectory record CI compares against its committed baseline.
+    """
+    base = results_dir or os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(base, exist_ok=True)
+    path = os.path.join(base, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

@@ -3,11 +3,29 @@
 The ``pipeline`` package answers "how fast is one batch on one idle
 device"; this package answers the production question: how does a fleet
 behave when many streams hit it at once.  Since the unified-core refactor,
-every composition runs on **one heap-driven event scheduler**
+every composition runs on **one event scheduler**
 (:mod:`repro.serving.events`) — ingest, routing, shard compute, mailbox,
 and memory-sync traffic advance on a single clock, the software analogue
 of the paper's dataflow pipeline overlapping sampling, memory update, and
 attention on the FPGA.
+
+Performance
+-----------
+The event core is vectorized: :class:`EventScheduler` holds the bulk
+arrival trace as struct-of-array *runs* (contiguous numpy timestamp
+arrays + one consumption pointer) and delivers maximal safe prefixes as
+**cohorts** to opted-in actors, while dynamically created events (service
+ends, dispatches, deadline flushes, migrations) ride a conventional
+``(t, priority, seq)`` heap overlay.  Ordering is bit-identical to the
+retained reference implementation :class:`HeapEventScheduler` — the
+equivalence is property-tested, the ``serve-sim`` golden reports are
+byte-identical under both, and ``bench_serving_scale`` asserts the
+events/sec speedup of the vectorized loop over the heap loop every run
+(the ratio is tracked across commits via the ``BENCH_events_per_sec``
+perf-trajectory artifact).  Tracing (``trace=True``) disables the bulk
+path so typed events keep their documented shape; untraced hot paths
+skip trace-only dataclass construction entirely.  ``serve-sim
+--profile`` prints the before/after breakdown via :mod:`repro.profiling`.
 
 Actors on the scheduler
 -----------------------
@@ -121,9 +139,10 @@ from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
 from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
                      make_stream_arrivals)
 from .events import (INGEST_MODES, ArrivalEvent, BatcherActor,  # noqa: F401
-                     EventScheduler, FlushEvent, MailEvent, MigrationEvent,
-                     RouterActor, ServerGroup, ServiceBeginEvent,
-                     ServiceEndEvent, Submission, SyncEvent)
+                     EventScheduler, FlushEvent, HeapEventScheduler,
+                     MailEvent, MigrationEvent, RouterActor, ServerGroup,
+                     ServiceBeginEvent, ServiceEndEvent, Submission,
+                     SyncEvent)
 from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
                       VersionedMemoryCache)
 from .rebalance import (HANDOFF_ROWS_PER_VERTEX,  # noqa: F401
@@ -142,8 +161,8 @@ __all__ = [
     "ShardRouter", "ShardBatch", "CrossShardMailbox",
     "DynamicBatcher", "CoalescedJob", "StreamArrival",
     "simulate_queue", "SimulationResult", "ServedJob",
-    "EventScheduler", "ServerGroup", "BatcherActor", "RouterActor",
-    "Submission", "INGEST_MODES",
+    "EventScheduler", "HeapEventScheduler", "ServerGroup", "BatcherActor",
+    "RouterActor", "Submission", "INGEST_MODES",
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
     "MailEvent", "SyncEvent", "MigrationEvent",
     "OnlineRebalancer", "HANDOFF_ROWS_PER_VERTEX",

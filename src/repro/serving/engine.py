@@ -54,6 +54,7 @@ equivalence tests).
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
@@ -371,6 +372,11 @@ class ServingEngine:
         self.mail_hop_s = float(mail_hop_s)
         self.memsync = memsync
         self.rebalancer = rebalancer
+        # Populated by each run: typed trace (or None), the scheduler
+        # instance (counters), and the event-loop wall-clock seconds.
+        self.last_event_trace = None
+        self.last_scheduler = None
+        self.last_loop_wall_s = 0.0
 
     @classmethod
     def from_registry(cls, backend: str | Sequence[str], model,
@@ -456,7 +462,8 @@ class ServingEngine:
             end: int | None = None, speedup: float = 1.0,
             num_streams: int = 1,
             queue_capacity: int | None = None,
-            ingest: str = "serial") -> ServingReport:
+            ingest: str = "serial",
+            scheduler_cls: type | None = None) -> ServingReport:
         """Replay the multi-stream arrival process through the topology.
 
         ``ingest="serial"`` serializes batching in front of service (the
@@ -471,6 +478,11 @@ class ServingEngine:
         The same applies to online rebalancing: migrations mutate the live
         placement, so a second run starts from the drifted partition (the
         rebalancer's own counters do reset per run).
+
+        ``scheduler_cls`` selects the event-loop implementation (default
+        :class:`EventScheduler`; pass :class:`HeapEventScheduler` for the
+        reference per-event loop — the bench and ``serve-sim --profile``
+        use it as the before/after comparison lane).
         """
         if ingest not in INGEST_MODES:
             raise ValueError(f"ingest must be one of {INGEST_MODES}")
@@ -478,7 +490,8 @@ class ServingEngine:
                                         num_streams=num_streams, start=start,
                                         end=end, speedup=speedup)
         return self._run_events(arrivals, window_s, speedup, num_streams,
-                                queue_capacity, ingest)
+                                queue_capacity, ingest,
+                                scheduler_cls=scheduler_cls)
 
     # ------------------------------------------------------------------ #
     def _make_groups(self, sched: EventScheduler,
@@ -510,8 +523,9 @@ class ServingEngine:
     def _run_events(self, arrivals: list[StreamArrival], window_s: float,
                     speedup: float, num_streams: int,
                     queue_capacity: int | None, ingest: str,
-                    trace: bool = False) -> ServingReport:
-        sched = EventScheduler(trace=trace)
+                    trace: bool = False,
+                    scheduler_cls: type | None = None) -> ServingReport:
+        sched = (scheduler_cls or EventScheduler)(trace=trace)
         groups = self._make_groups(sched, queue_capacity)
         pooled = self.topology == "pool"
         cache = None if pooled else \
@@ -583,10 +597,18 @@ class ServingEngine:
             for g in groups:
                 g.on_hungry = batcher.on_hungry
         batcher.start(arrivals)
+        t0 = time.perf_counter()
         sched.run()
+        loop_wall = time.perf_counter() - t0
         # Exposed for the invariant tests: the full typed-event trace of
-        # the run (None unless trace=True — tracing costs memory).
+        # the run (None unless trace=True — tracing costs memory).  The
+        # scheduler itself is exposed for its counters (events_processed,
+        # cohort_calls), and the loop wall-clock isolates the event core
+        # from setup and report assembly — the bench and --profile read
+        # them.
         self.last_event_trace = sched.trace
+        self.last_scheduler = sched
+        self.last_loop_wall_s = loop_wall
         shard_results = [g.finalize() for g in groups]
 
         if pooled:
@@ -675,6 +697,10 @@ class ServingEngine:
             for s, r in enumerate(shard_results))
 
         resp = np.asarray(responses)
+        # One sort feeds every percentile (order statistics are
+        # permutation-invariant, bit-for-bit); the mean stays on the
+        # unsorted array — summation order changes its last bits.
+        resp_sorted = np.sort(resp)
         finite = finish_of_job[np.isfinite(finish_of_job)]
         makespan = float(finite.max() - arrivals[0].t) if len(finite) else 0.0
         ingested = sum(len(a) for a in arrivals)
@@ -684,8 +710,10 @@ class ServingEngine:
             speedup=speedup, window_s=window_s,
             windows=len(responses), dropped_windows=dropped_windows,
             mean_response_s=float(resp.mean()) if len(resp) else 0.0,
-            p95_response_s=float(np.percentile(resp, 95)) if len(resp) else 0.0,
-            p99_response_s=float(np.percentile(resp, 99)) if len(resp) else 0.0,
+            p95_response_s=float(np.percentile(resp_sorted, 95))
+            if len(resp) else 0.0,
+            p99_response_s=float(np.percentile(resp_sorted, 99))
+            if len(resp) else 0.0,
             makespan_s=makespan,
             ingested_edges=ingested,
             processed_edges=int(shard_traffic.sum()),
@@ -745,6 +773,7 @@ class ServingEngine:
             servers=self.pool_servers),)
 
         resp = np.asarray(responses)
+        resp_sorted = np.sort(resp)   # shared by the percentiles, as above
         # Same convention as the sharded path: first *stream* arrival (not
         # first job release) to last service completion.
         makespan = float(max(sj.t_finish for sj in res.served)
@@ -754,8 +783,10 @@ class ServingEngine:
             speedup=speedup, window_s=window_s,
             windows=len(responses), dropped_windows=dropped_windows,
             mean_response_s=float(resp.mean()) if len(resp) else 0.0,
-            p95_response_s=float(np.percentile(resp, 95)) if len(resp) else 0.0,
-            p99_response_s=float(np.percentile(resp, 99)) if len(resp) else 0.0,
+            p95_response_s=float(np.percentile(resp_sorted, 95))
+            if len(resp) else 0.0,
+            p99_response_s=float(np.percentile(resp_sorted, 99))
+            if len(resp) else 0.0,
             makespan_s=makespan,
             ingested_edges=sum(len(a) for a in arrivals),
             processed_edges=edges_served,

@@ -2,12 +2,43 @@
 
 Every serving composition in this package — single queue, partitioned
 shards, shared-queue pool, and the hybrid hot/cold topology — runs on the
-same heap-driven event loop.  The paper's accelerator overlaps sampling,
-memory update, and attention in a hardware dataflow pipeline; this module
-is the deployment-level analogue: ingest (batching), routing, shard
-compute, mailbox, and memory-sync traffic all advance on **one clock**, so
-stages can overlap instead of being modeled as independent batch
-simulations that cannot interact mid-run.
+same event loop.  The paper's accelerator overlaps sampling, memory
+update, and attention in a hardware dataflow pipeline; this module is the
+deployment-level analogue: ingest (batching), routing, shard compute,
+mailbox, and memory-sync traffic all advance on **one clock**, so stages
+can overlap instead of being modeled as independent batch simulations
+that cannot interact mid-run.
+
+Scheduler design (struct-of-array runs + cohort dispatch)
+---------------------------------------------------------
+The loop spends most of its time delivering *arrivals* — a replay with S
+streams and W windows schedules ``S x W`` of them up front — so
+:class:`EventScheduler` stores that bulk as **struct-of-array event
+runs**: one contiguous, pre-sorted numpy timestamp array per
+:meth:`EventScheduler.schedule_run` call, with the priority, the token
+range, and the payload index held as parallel (mostly implicit) columns
+and a single consumption pointer instead of one heap entry per event.
+Dynamically created events (service ends, dispatches, deadline flushes,
+migrations) still live on a conventional ``(t, priority, seq)`` heap; the
+loop always fires whichever source holds the globally smallest key, so
+the documented equal-timestamp priority order and schedule-order
+tie-breaking are preserved exactly.
+
+When a run holds the smallest key, the scheduler delivers a **cohort**:
+the maximal prefix of the run whose every ``(t, priority, seq)`` key
+precedes the dynamic heap head (and every other run head).  The cohort
+handler — an actor that opted in, like :class:`BatcherActor` — consumes
+as many of those events as it can prove need no interleaving (pure
+buffering), and *returns the consumed count*: any event whose admission
+could trigger a same-instant reaction (a passthrough deadline, a size
+flush, a drain flush) is left unconsumed, and the next loop iteration
+delivers it alone with exact heap semantics.  Actors that have not opted
+in — :class:`~repro.serving.rebalance.OnlineRebalancer` among them — use
+:meth:`EventScheduler.schedule` and keep per-event dispatch unchanged.
+:class:`HeapEventScheduler` is the pre-vectorization implementation,
+kept verbatim as the behavioral oracle: the scheduler-equivalence
+property tests require bit-identical outcomes between the two, and the
+serving bench / ``serve-sim --profile`` use it as the "before" lane.
 
 Event types
 -----------
@@ -87,13 +118,14 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..graph.batching import merge_batches
+from ..graph.temporal_graph import EdgeBatch
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
 
 __all__ = [
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
-    "MailEvent", "SyncEvent", "MigrationEvent", "EventScheduler", "ServedJob",
-    "SimulationResult", "ServerGroup", "BatcherActor", "RouterActor",
-    "Submission", "INGEST_MODES",
+    "MailEvent", "SyncEvent", "MigrationEvent", "EventScheduler",
+    "HeapEventScheduler", "ServedJob", "SimulationResult", "ServerGroup",
+    "BatcherActor", "RouterActor", "Submission", "INGEST_MODES",
 ]
 
 INGEST_MODES = ("serial", "pipelined")
@@ -191,7 +223,7 @@ class MigrationEvent:
 
 
 # --------------------------------------------------------------------------- #
-class EventScheduler:
+class HeapEventScheduler:
     """Heap-driven event loop with deterministic same-time ordering.
 
     Entries order by ``(t, priority, seq)`` — seq is the monotonically
@@ -199,6 +231,12 @@ class EventScheduler:
     the order they were scheduled and runs are exactly reproducible.  The
     loop asserts global timestamp monotonicity: an event firing before
     ``now`` is a scheduler bug, not a recoverable condition.
+
+    This is the pre-vectorization implementation, retained verbatim as the
+    behavioral oracle for :class:`EventScheduler` (see the module
+    docstring): the equivalence property tests replay identical workloads
+    through both and require bit-identical outcomes, and the serving bench
+    and ``serve-sim --profile`` use it as the "before" measurement lane.
     """
 
     def __init__(self, trace: bool = False):
@@ -245,6 +283,181 @@ class EventScheduler:
             if event is not None and self.trace is not None:
                 self.trace.append(event)
             handler(event)
+
+
+class _EventRun:
+    """Struct-of-array storage for one :meth:`EventScheduler.schedule_run`.
+
+    Parallel columns of the run's events: ``ts`` holds the sorted
+    timestamps; the priority is constant across the run; the token of
+    element ``i`` is ``base + i`` (drawn from the scheduler's global seq
+    counter, so heap keys and run keys interleave deterministically); the
+    payload index equals the element position.  ``pos`` is the consumption
+    pointer — everything before it has fired.
+    """
+
+    __slots__ = ("ts", "priority", "base", "payloads", "handler", "pos", "n")
+
+    def __init__(self, ts: np.ndarray, priority: int, base: int,
+                 payloads: Sequence, handler: Callable):
+        self.ts = ts
+        self.priority = priority
+        self.base = base
+        self.payloads = payloads
+        self.handler = handler
+        self.pos = 0
+        self.n = len(ts)
+
+
+class EventScheduler:
+    """Vectorized event loop: struct-of-array runs + a dynamic heap overlay.
+
+    Bulk, pre-sorted event sequences (the arrival trace) are stored as
+    :class:`_EventRun` blocks via :meth:`schedule_run`; dynamically created
+    events use :meth:`schedule` and live on the same ``(t, priority, seq)``
+    heap as :class:`HeapEventScheduler`.  Both sources draw tokens from one
+    global ``seq`` counter, so every key is unique and the loop can always
+    decide which source fires next by comparing ``(t, priority, seq)``.
+
+    When a run holds the globally smallest key, its handler is offered the
+    maximal *cohort*: the prefix of unconsumed elements whose every key
+    precedes the heap head and every other run head.  The handler returns
+    how many it consumed (at least the head element, which is trivially
+    heap-equivalent); elements whose admission could schedule an event
+    that lands inside the offered prefix must be left unconsumed.  Firing
+    order is therefore bit-identical to the heap scheduler — the cohort is
+    an optimization of *delivery*, not of ordering — which the equivalence
+    property tests assert directly.
+    """
+
+    def __init__(self, trace: bool = False):
+        self._heap: list = []
+        self._runs: list[_EventRun] = []
+        self._seq = 0
+        self._dead: set[int] = set()
+        self.now = -math.inf
+        self.events_processed = 0
+        self.cohort_calls = 0
+        self.cohort_events = 0
+        self.trace: list | None = [] if trace else None
+
+    def schedule(self, t: float, priority: int, event,
+                 handler: Callable) -> int:
+        """Queue ``handler(event)`` at ``(t, priority)``; returns a token."""
+        if t < self.now:
+            raise RuntimeError(
+                f"cannot schedule an event at t={t} before now={self.now}")
+        token = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (t, priority, token, event, handler))
+        return token
+
+    def schedule_run(self, ts: np.ndarray, priority: int, payloads: Sequence,
+                     handler: Callable) -> None:
+        """Queue a pre-sorted bulk of events as one struct-of-array run.
+
+        ``handler(t0, payloads, start, stop)`` is called with the cohort
+        bounds and must return the number of elements consumed, in
+        ``[1, stop - start]``.  Runs are the untraced bulk path: they
+        carry raw payloads, not typed events, so nothing lands in
+        ``trace`` — callers that need typed trace events schedule
+        per-event instead.
+        """
+        ts = np.ascontiguousarray(ts, dtype=np.float64)
+        if len(ts) != len(payloads):
+            raise ValueError("schedule_run needs one payload per timestamp")
+        if len(ts) == 0:
+            return
+        if np.any(ts[1:] < ts[:-1]):
+            raise ValueError("run timestamps must be sorted")
+        if ts[0] < self.now:
+            raise RuntimeError(
+                f"cannot schedule an event at t={ts[0]} before now={self.now}")
+        base = self._seq
+        self._seq += len(ts)
+        self._runs.append(_EventRun(ts, int(priority), base, payloads,
+                                    handler))
+
+    def cancel(self, token: int) -> None:
+        """Mark a heap-scheduled event dead; it is skipped when popped."""
+        self._dead.add(token)
+
+    def record(self, event) -> None:
+        """Append a trace-only event (begin / flush / mail / sync)."""
+        if self.trace is not None:
+            self.trace.append(event)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _run_cut(run: _EventRun, key: tuple) -> int:
+        """Index of the first run element whose key does not precede ``key``."""
+        t, prio, seq = key
+        lo = int(np.searchsorted(run.ts, t, side="left"))
+        if prio < run.priority:
+            return lo
+        hi = int(np.searchsorted(run.ts, t, side="right"))
+        if prio > run.priority:
+            return hi
+        return min(hi, max(lo, seq - run.base))
+
+    def run(self) -> None:
+        heap = self._heap
+        dead = self._dead
+        runs = self._runs
+        while True:
+            best: _EventRun | None = None
+            best_key: tuple = ()
+            for r in runs:
+                if r.pos < r.n:
+                    key = (r.ts[r.pos], r.priority, r.base + r.pos)
+                    if best is None or key < best_key:
+                        best, best_key = r, key
+            if heap and (best is None or heap[0][:3] < best_key):
+                t, _prio, token, event, handler = heapq.heappop(heap)
+                if token in dead:
+                    dead.discard(token)
+                    continue
+                if t < self.now:
+                    raise RuntimeError(
+                        f"event fired out of timestamp order: t={t} < "
+                        f"now={self.now}")
+                self.now = t
+                self.events_processed += 1
+                if event is not None and self.trace is not None:
+                    self.trace.append(event)
+                handler(event)
+                continue
+            if best is None:
+                return
+            pos = best.pos
+            t0 = float(best.ts[pos])
+            if t0 < self.now:
+                raise RuntimeError(
+                    f"event fired out of timestamp order: t={t0} < "
+                    f"now={self.now}")
+            stop = best.n
+            if heap:
+                stop = min(stop, self._run_cut(best, heap[0][:3]))
+            for other in runs:
+                if other is not best and other.pos < other.n:
+                    stop = min(stop, self._run_cut(
+                        best, (other.ts[other.pos], other.priority,
+                               other.base + other.pos)))
+            # The head element was chosen as the global minimum, so
+            # delivering it alone is always valid even when the cut lands
+            # at or before ``pos`` (equal-key ties are impossible: seq
+            # values are globally unique).
+            stop = max(stop, pos + 1)
+            consumed = int(best.handler(t0, best.payloads, pos, stop))
+            if not 1 <= consumed <= stop - pos:
+                raise RuntimeError(
+                    f"cohort handler consumed {consumed} of "
+                    f"[1, {stop - pos}] offered events")
+            best.pos = pos + consumed
+            self.now = float(best.ts[best.pos - 1])
+            self.events_processed += consumed
+            self.cohort_calls += 1
+            self.cohort_events += consumed
 
 
 # --------------------------------------------------------------------------- #
@@ -301,6 +514,20 @@ class SimulationResult:
     def responses(self) -> np.ndarray:
         return np.array([j.response_s for j in self.served])
 
+    def _sorted_responses(self) -> np.ndarray:
+        """Response latencies sorted ascending, computed once and cached.
+
+        Percentiles are order statistics, so every quantile shares this
+        one sort (``np.percentile`` on the sorted array selects the same
+        interpolated values bit-for-bit as on the raw array).  Means stay
+        on the *unsorted* array: summation order changes the last bits.
+        """
+        cached = self.__dict__.get("_responses_sorted")
+        if cached is None:
+            cached = np.sort(self.responses())
+            object.__setattr__(self, "_responses_sorted", cached)
+        return cached
+
     @property
     def mean_wait_s(self) -> float:
         return float(self.waits().mean()) if self.served else 0.0
@@ -310,14 +537,19 @@ class SimulationResult:
         return float(self.responses().mean()) if self.served else 0.0
 
     @property
+    def p50_response_s(self) -> float:
+        return float(np.percentile(self._sorted_responses(), 50)) \
+            if self.served else 0.0
+
+    @property
     def p95_response_s(self) -> float:
-        return float(np.percentile(self.responses(), 95)) if self.served \
-            else 0.0
+        return float(np.percentile(self._sorted_responses(), 95)) \
+            if self.served else 0.0
 
     @property
     def p99_response_s(self) -> float:
-        return float(np.percentile(self.responses(), 99)) if self.served \
-            else 0.0
+        return float(np.percentile(self._sorted_responses(), 99)) \
+            if self.served else 0.0
 
 
 # --------------------------------------------------------------------------- #
@@ -408,22 +640,35 @@ class ServerGroup:
         self._served[i] = ServedJob(index=i, t_arrive=t_arrive,
                                     t_begin=begin, t_finish=finish,
                                     service_s=service, server=srv)
-        self._sched.record(ServiceBeginEvent(begin, self.gid, srv, i))
-        self._sched.schedule(finish, _END,
-                             ServiceEndEvent(finish, self.gid, srv, i),
-                             self._on_end)
+        if self._sched.trace is not None:
+            self._sched.record(ServiceBeginEvent(begin, self.gid, srv, i))
+            self._sched.schedule(finish, _END,
+                                 ServiceEndEvent(finish, self.gid, srv, i),
+                                 self._on_end)
+        else:
+            # Untraced fast path: nobody observes the typed end event, so
+            # a bare (finish, server) tuple avoids two dataclass
+            # allocations per job on the hot loop.
+            self._sched.schedule(finish, _END, (finish, srv),
+                                 self._on_end_fast)
 
     def _on_end(self, ev: ServiceEndEvent) -> None:
-        heapq.heappush(self._idle, (ev.t, ev.server))
+        self._end(ev.t, ev.server)
+
+    def _on_end_fast(self, ev: tuple) -> None:
+        self._end(ev[0], ev[1])
+
+    def _end(self, t: float, server: int) -> None:
+        heapq.heappush(self._idle, (t, server))
         if self._waiting:
             # Defer the hand-off so every same-instant end lands in the
             # idle heap first — the waiting job then picks the earliest
             # ``(freed_at, server_id)``, the historical tie-break.
             if not self._dispatch_pending:
                 self._dispatch_pending = True
-                self._sched.schedule(ev.t, _DISPATCH, None, self._dispatch)
+                self._sched.schedule(t, _DISPATCH, None, self._dispatch)
         elif self.on_hungry is not None:
-            self.on_hungry(ev.t)
+            self.on_hungry(t)
 
     def _dispatch(self, _event) -> None:
         self._dispatch_pending = False
@@ -494,6 +739,15 @@ class BatcherActor:
         self._fleet = tuple(fleet)
         self.pending: list[StreamArrival] = []
         self.pending_edges = 0
+        self._run_ts: np.ndarray | None = None
+        self._run_cum: np.ndarray | None = None
+        # Bulk path only: all batch fields concatenated once in admission
+        # order (struct-of-array), plus the arrival index of the first
+        # pending element.  Serial admission keeps ``pending`` a contiguous
+        # span of the arrival sequence, so a flush merges by slicing these
+        # arrays instead of re-concatenating per-arrival batches.
+        self._cat: tuple[np.ndarray, ...] | None = None
+        self._span_lo = 0
         self._deadline_token: int | None = None
         self._expected = 0
         self._admitted = 0
@@ -502,11 +756,40 @@ class BatcherActor:
 
     # ------------------------------------------------------------------ #
     def start(self, arrivals: Sequence[StreamArrival]) -> None:
-        """Schedule the whole arrival trace onto the loop."""
-        if any(arrivals[i].t > arrivals[i + 1].t
-               for i in range(len(arrivals) - 1)):
+        """Schedule the whole arrival trace onto the loop.
+
+        On a cohort-capable scheduler with tracing off, the trace is
+        scheduled as one struct-of-array run (the vectorized bulk path);
+        otherwise every arrival becomes a typed :class:`ArrivalEvent` so
+        traces keep their documented shape.
+        """
+        arrivals = list(arrivals)
+        ts = np.fromiter((a.t for a in arrivals), count=len(arrivals),
+                         dtype=np.float64)
+        if len(ts) > 1 and bool(np.any(ts[:-1] > ts[1:])):
             raise ValueError("arrivals must be sorted by time")
         self._expected = len(arrivals)
+        schedule_run = getattr(self._sched, "schedule_run", None)
+        if schedule_run is not None and self._sched.trace is None \
+                and len(arrivals) > 0:
+            self._run_ts = ts
+            # _run_cum[i] = total edges in arrivals[:i]; strictly
+            # increasing because every window carries >= 1 edge.
+            lens = np.fromiter((len(a) for a in arrivals),
+                               count=len(arrivals), dtype=np.int64)
+            self._run_cum = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(lens)))
+            # Assemble the whole stream's batch fields once (one big
+            # concatenate per field instead of one per flush); _flush
+            # slices its pending span out of these.
+            batches = [a.batch for a in arrivals]
+            self._cat = (np.concatenate([b.src for b in batches]),
+                         np.concatenate([b.dst for b in batches]),
+                         np.concatenate([b.t for b in batches]),
+                         np.concatenate([b.eid for b in batches]),
+                         np.concatenate([b.edge_feat for b in batches]))
+            schedule_run(self._run_ts, _ARRIVAL, arrivals, self._on_cohort)
+            return
         for a in arrivals:
             self._sched.schedule(a.t, _ARRIVAL, ArrivalEvent(a.t, a),
                                  self._on_arrival)
@@ -522,35 +805,95 @@ class BatcherActor:
 
     # ------------------------------------------------------------------ #
     def _on_arrival(self, ev: ArrivalEvent) -> None:
-        a = ev.arrival
+        self._admit(ev.arrival, ev.t)
+
+    def _admit(self, a: StreamArrival, t: float) -> None:
         self._admitted += 1
         # Overflow guard: admitting this arrival would push the buffer past
         # the size cap, so release the buffered job first (only a single
         # oversized arrival can ever produce an oversized job).
         if self.max_edges is not None and self.pending \
                 and self.pending_edges + len(a) > self.max_edges:
-            self._flush(ev.t, "size")
+            self._flush(t, "size")
         first = not self.pending
         self.pending.append(a)
         self.pending_edges += len(a)
         if self.max_edges is not None and self.pending_edges >= self.max_edges:
-            self._flush(ev.t, "size")
+            self._flush(t, "size")
             return
         if self.ingest == "pipelined" and self._fleet \
                 and self._fleet_hungry():
             # Nothing in flight to hide the delay behind: release now.
-            self._flush(ev.t, "drain")
+            self._flush(t, "drain")
             return
         if self._admitted == self._expected \
                 and not math.isfinite(self.max_delay_s):
             # End of stream with an unbounded deadline: the offline
             # reference releases the tail at the last arrival instant.
-            self._flush(ev.t, "eos")
+            self._flush(t, "eos")
             return
         if first and math.isfinite(self.max_delay_s):
             deadline = a.t + self.max_delay_s
             self._deadline_token = self._sched.schedule(
                 deadline, _FLUSH, None, self._on_deadline)
+
+    def _on_cohort(self, t: float, arrivals: Sequence[StreamArrival],
+                   start: int, stop: int) -> int:
+        """Bulk arrival admission; returns how many elements it consumed.
+
+        Consuming more than the head element is valid only while admission
+        is *pure buffering* — no flush fires and no event the batcher
+        schedules lands inside the consumed span.  Arrivals that could
+        react at the same instant (a passthrough deadline, a drain flush,
+        a size trigger) fall back to :meth:`_admit` one at a time, which
+        is exactly the reference heap delivery.
+        """
+        a0 = arrivals[start]
+        pending_empty = not self.pending
+        if (pending_empty and self.max_delay_s == 0.0) \
+                or (self.ingest == "pipelined" and self._fleet
+                    and self._fleet_hungry()):
+            # Passthrough deadline or hungry-fleet drain: every admission
+            # flushes immediately, so deliver with per-event semantics.
+            # (Fleet hungriness is frozen during pure buffering — nothing
+            # fires between cohort elements — so checking it once at the
+            # cohort head is exact.)
+            self._admit(a0, t)
+            return 1
+        cum = self._run_cum
+        limit = stop
+        if self.max_edges is not None:
+            # Pure buffering holds the buffer strictly below the size cap;
+            # the element whose admission reaches (or overflows) it
+            # triggers a flush, so the cut stops just before it.  Element
+            # k (global index) triggers iff pending_edges + cum[k+1] -
+            # cum[start] >= max_edges.
+            threshold = self.max_edges - (self.pending_edges
+                                          - int(cum[start]))
+            trigger = int(np.searchsorted(cum, threshold, side="left")) - 1
+            if trigger <= start:
+                self._admit(a0, t)   # head element flushes: go per-event
+                return 1
+            limit = min(limit, trigger)
+        if pending_empty and math.isfinite(self.max_delay_s):
+            # Admitting the head opens the buffer and schedules a deadline
+            # flush at t + max_delay_s — an event the scheduler could not
+            # see when it cut the cohort.  Arrivals at or past the
+            # deadline instant wait behind the _FLUSH-priority release.
+            deadline = a0.t + self.max_delay_s
+            limit = min(limit, start + int(np.searchsorted(
+                self._run_ts[start:stop], deadline, side="left")))
+        consumed = limit - start
+        self.pending.extend(arrivals[start:limit])
+        self.pending_edges += int(cum[limit] - cum[start])
+        self._admitted += consumed
+        if self._admitted == self._expected \
+                and not math.isfinite(self.max_delay_s):
+            self._flush(float(self._run_ts[limit - 1]), "eos")
+        elif pending_empty and math.isfinite(self.max_delay_s):
+            self._deadline_token = self._sched.schedule(
+                a0.t + self.max_delay_s, _FLUSH, None, self._on_deadline)
+        return consumed
 
     def _on_deadline(self, _event) -> None:
         self._deadline_token = None
@@ -561,7 +904,7 @@ class BatcherActor:
         if self._deadline_token is not None:
             self._sched.cancel(self._deadline_token)
             self._deadline_token = None
-        merged = merge_batches([a.batch for a in self.pending])
+        merged = self._merge_pending()
         job = CoalescedJob(t_release=t, batch=merged,
                            sources=tuple(self.pending))
         self.pending = []
@@ -571,6 +914,33 @@ class BatcherActor:
             self.drain_flushes += 1
         self._sched.record(FlushEvent(t, cause, len(job.sources)))
         self._sink(job)
+
+    def _merge_pending(self) -> EdgeBatch:
+        """Chronological merge of the pending buffer.
+
+        Bulk path: admission is sequential and a flush always drains the
+        whole buffer, so ``pending == arrivals[lo : lo + len(pending)]``
+        for the tracked span start ``lo`` — the concatenation of its batch
+        fields is a slice of the precomputed per-field arrays, and only
+        the stable time sort remains per flush.  Identical values to
+        :func:`merge_batches` (same concatenation order, same sort), just
+        without re-concatenating per-arrival arrays.  The per-event path
+        (heap scheduler, or tracing on) keeps the reference call.
+        """
+        if self._cat is None:
+            return merge_batches([a.batch for a in self.pending])
+        lo = self._span_lo
+        n_pend = len(self.pending)
+        self._span_lo = lo + n_pend
+        if n_pend == 1:
+            # Mirror merge_batches' single-batch fast path (same views).
+            return self.pending[0].batch
+        e0 = int(self._run_cum[lo])
+        e1 = int(self._run_cum[lo + n_pend])
+        src, dst, ts, eid, ef = (f[e0:e1] for f in self._cat)
+        order = np.argsort(ts, kind="stable")
+        return EdgeBatch(src=src[order], dst=dst[order], t=ts[order],
+                         eid=eid[order], edge_feat=ef[order])
 
 
 # --------------------------------------------------------------------------- #

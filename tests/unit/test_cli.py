@@ -112,6 +112,21 @@ class TestServeSim:
         assert code == 0
         assert "die crossings" in text
 
+    def test_serve_sim_profile_compares_schedulers(self):
+        code, text = run(["serve-sim", "--dataset", "wikipedia",
+                          "--edges", "400", "--shards", "2",
+                          "--streams", "2", "--backend", "cpu-32t",
+                          "--window-s", "3600", "--memory-dim", "8",
+                          "--profile"])
+        assert code == 0
+        assert "event core profile" in text
+        assert "heap (before)" in text
+        assert "vectorized (after)" in text
+        # The two lanes replay the identical workload: the breakdown must
+        # certify byte-identical reports, and the normal report follows.
+        assert "reports byte-identical: yes" in text
+        assert "p95" in text
+
     def test_serve_sim_rebalance_profiles_then_migrates(self):
         # A near-zero threshold guarantees the profiling pass flags every
         # loaded shard, so migrations must happen.

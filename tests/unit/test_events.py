@@ -13,6 +13,12 @@ Three contracts pin the refactor:
   event fires out of timestamp order, and per-server busy intervals never
   overlap — over randomized arrival traces, all topologies, both ingest
   modes.
+* Heap-vs-vectorized equivalence: the struct-of-array cohort scheduler
+  fires the exact same sequence as the retained :class:`HeapEventScheduler`
+  oracle — element for element over randomized programs with time ties,
+  priority collisions, and dynamically scheduled follow-ups — and the full
+  actor stack (batcher, groups, engine reports) is bit-identical under
+  both (``TestHeapVsVectorizedEquivalence``).
 """
 
 import heapq
@@ -25,10 +31,10 @@ from repro.graph import TemporalGraph
 from repro.graph.temporal_graph import EdgeBatch
 from repro.pipeline import LinearCostBackend
 from repro.serving import (BatcherActor, DynamicBatcher, EventScheduler,
-                           FlushEvent, HotColdHybrid, MailEvent,
-                           ServiceBeginEvent, ServiceEndEvent, ServingEngine,
-                           StreamArrival, SyncEvent, VertexHeat,
-                           make_stream_arrivals, simulate_queue)
+                           FlushEvent, HeapEventScheduler, HotColdHybrid,
+                           MailEvent, ServiceBeginEvent, ServiceEndEvent,
+                           ServingEngine, StreamArrival, SyncEvent,
+                           VertexHeat, make_stream_arrivals, simulate_queue)
 from repro.serving.events import ServedJob, ServerGroup, SimulationResult
 
 
@@ -566,3 +572,158 @@ class TestHybridTopology:
         with pytest.raises(ValueError, match="pool_servers"):
             ServingEngine([LinearCostBackend()], g.num_nodes,
                           pool_servers=2)
+
+
+# --------------------------------------------------------------------------- #
+class TestHeapVsVectorizedEquivalence:
+    """Property: the SoA/cohort scheduler == the heap oracle, exactly.
+
+    The heap implementation is kept (``HeapEventScheduler``) purely as the
+    reference these tests drive: any divergence in firing order — including
+    among exact time ties, across priorities, and against events scheduled
+    dynamically from handlers — is a bug in the vectorized scheduler.
+    """
+
+    SPAWN_BASE = 1_000_000   # tags >= this are dynamically spawned events
+
+    def _random_program(self, rng):
+        """A mix of point events and sorted runs with deliberate ties.
+
+        Integer-grid times force exact collisions across ops; each element
+        gets a unique tag so the fired sequences compare element-for-
+        element.
+        """
+        ops, tag = [], 0
+        for _ in range(int(rng.integers(3, 9))):
+            base = float(rng.integers(0, 6))
+            prio = int(rng.integers(0, 3))
+            if rng.random() < 0.45:
+                ops.append(("point", base, prio, tag))
+                tag += 1
+            else:
+                n = int(rng.integers(1, 12))
+                ts = base + np.cumsum(
+                    rng.integers(0, 2, size=n).astype(np.float64))
+                tags = list(range(tag, tag + n))
+                tag += n
+                ops.append(("run", ts, prio, tags))
+        return ops
+
+    def _drive(self, sched, ops, vectorized):
+        """Run one lane; returns the fired (t, priority, tag) sequence.
+
+        Every 5th tag spawns a follow-up event from inside its handler —
+        the cohort handler honours the dispatch contract by consuming no
+        further elements once one spawns (the new event may land inside
+        the remainder of the offered span).
+        """
+        fired = []
+
+        def on_point(ev):
+            t, prio, tag = ev
+            fired.append((t, prio, tag))
+            self._maybe_spawn(sched, t, tag, on_point)
+
+        def on_cohort(t0, payloads, start, stop):
+            consumed = 0
+            for i in range(start, stop):
+                t, prio, tag = payloads[i]
+                fired.append((t, prio, tag))
+                consumed += 1
+                if self._spawns(tag):
+                    self._maybe_spawn(sched, t, tag, on_point)
+                    break
+            return consumed
+
+        # Identical schedule-call order in both lanes: the sequence
+        # numbers that break exact (t, priority) ties line up only if the
+        # heap lane expands each run element-by-element in place.
+        for op in ops:
+            if op[0] == "point":
+                _, t, prio, tag = op
+                sched.schedule(t, prio, (t, prio, tag), on_point)
+            elif vectorized:
+                _, ts, prio, tags = op
+                payloads = [(float(t), prio, g) for t, g in zip(ts, tags)]
+                sched.schedule_run(ts, prio, payloads, on_cohort)
+            else:
+                _, ts, prio, tags = op
+                for t, g in zip(ts, tags):
+                    sched.schedule(float(t), prio, (float(t), prio, g),
+                                   on_point)
+        sched.run()
+        return fired
+
+    def _spawns(self, tag):
+        return tag < self.SPAWN_BASE and tag % 5 == 0
+
+    def _maybe_spawn(self, sched, t, tag, on_point):
+        if self._spawns(tag):
+            spawned = (t + 1.5, 1, self.SPAWN_BASE + tag)
+            sched.schedule(spawned[0], spawned[1], spawned, on_point)
+
+    def test_firing_order_identical_randomized(self):
+        for trial in range(60):
+            rng = np.random.default_rng(4200 + trial)
+            ops = self._random_program(rng)
+            heap = HeapEventScheduler()
+            vec = EventScheduler()
+            heap_fired = self._drive(heap, ops, vectorized=False)
+            vec_fired = self._drive(vec, ops, vectorized=True)
+            assert vec_fired == heap_fired
+            assert vec.events_processed == heap.events_processed
+            assert vec.now == heap.now
+
+    @pytest.mark.parametrize(
+        "cfg_index", range(len(TestBatcherActorEquivalence.CONFIGS)))
+    def test_actor_stack_jobs_bit_identical(self, cfg_index):
+        """Batcher releases (times, sources, merged arrays) match exactly.
+
+        This also pins the bulk path's sliced struct-of-array merge
+        against the per-batch ``merge_batches`` the heap lane still runs.
+        """
+        cfg = TestBatcherActorEquivalence.CONFIGS[cfg_index]
+        rng = np.random.default_rng(7100 + cfg_index)
+        for trial in range(6):
+            arrivals = random_arrivals(rng, int(rng.integers(1, 80)))
+            lanes = []
+            for cls in (HeapEventScheduler, EventScheduler):
+                sched = cls()
+                jobs = []
+                actor = BatcherActor(DynamicBatcher(**cfg), sched,
+                                     jobs.append)
+                actor.start(arrivals)
+                sched.run()
+                lanes.append(jobs)
+            heap_jobs, vec_jobs = lanes
+            assert len(vec_jobs) == len(heap_jobs)
+            for a, b in zip(vec_jobs, heap_jobs):
+                assert a.t_release == b.t_release          # bit-exact
+                assert a.sources == b.sources
+                for field in ("src", "dst", "t", "eid", "edge_feat"):
+                    assert np.array_equal(getattr(a.batch, field),
+                                          getattr(b.batch, field))
+
+    @pytest.mark.parametrize("topology", ["sharded", "pool"])
+    @pytest.mark.parametrize("ingest", ["serial", "pipelined"])
+    def test_engine_reports_byte_identical(self, topology, ingest):
+        g = wikipedia_like(num_edges=500, num_users=60, num_items=16)
+
+        def build():
+            if topology == "pool":
+                return ServingEngine([LinearCostBackend(per_edge_s=2e-3)],
+                                     g.num_nodes, topology="pool",
+                                     pool_servers=3,
+                                     batcher=DynamicBatcher(
+                                         max_delay_s=200.0))
+            return ServingEngine(
+                [LinearCostBackend(per_edge_s=2e-3) for _ in range(3)],
+                g.num_nodes, batcher=DynamicBatcher(max_delay_s=200.0))
+
+        reports = {}
+        for cls in (HeapEventScheduler, None):
+            engine = build()
+            reports[cls] = engine.run(g, window_s=3600.0, num_streams=2,
+                                      speedup=100.0, ingest=ingest,
+                                      scheduler_cls=cls)
+        assert reports[None].to_json() == reports[HeapEventScheduler].to_json()
