@@ -168,6 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--replicate-top-k", type=int, default=8,
                    help="replicate: how many read-mostly hot vertices to "
                         "replicate")
+    v.add_argument("--fail-at", type=float, default=None, metavar="SECONDS",
+                   help="chaos: inject a shard failure at this event-loop "
+                        "time (sharded topology)")
+    v.add_argument("--fail-shard", type=int, default=0,
+                   help="chaos: which shard fails")
+    v.add_argument("--fail-mode", default="dead",
+                   choices=["dead", "slow"],
+                   help="chaos: 'dead' stops the shard and loses its "
+                        "vertex state (replica mirrors are promoted to "
+                        "owners, the rest is rebuilt by memsync replay "
+                        "from peers); 'slow' multiplies its service times "
+                        "by --fail-degradation")
+    v.add_argument("--recover-at", type=float, default=None,
+                   metavar="SECONDS",
+                   help="chaos: restore the failed shard at this event-"
+                        "loop time (dead mode migrates the held state "
+                        "back to it)")
+    v.add_argument("--fail-degradation", type=float, default=4.0,
+                   help="chaos: slow-mode service-time multiplier")
     v.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report as canonical JSON (byte-"
                         "identical across runs with the same arguments on "
@@ -360,7 +379,8 @@ def cmd_serve_sim(args, out=print) -> int:
         fpga_design = U200_DESIGN if args.backend == "u200" \
             else ZCU104_DESIGN
 
-    def build_engine(placement=None, die_of=None, rebalancer=None):
+    def build_engine(placement=None, die_of=None, rebalancer=None,
+                     failures=None):
         # Price cross-shard mailbox traffic at the SLR-crossing latency of
         # the simulated part (single-die parts get an all-zero penalty;
         # pool replicas forward nothing, so no penalty applies there).
@@ -369,6 +389,8 @@ def cmd_serve_sim(args, out=print) -> int:
             kwargs["placement"] = placement
         if rebalancer is not None:
             kwargs["rebalancer"] = rebalancer
+        if failures is not None:
+            kwargs["failures"] = failures
         if args.topology in ("sharded", "hybrid"):
             kwargs["memsync"] = args.memsync
         if args.topology == "hybrid":
@@ -468,6 +490,26 @@ def cmd_serve_sim(args, out=print) -> int:
             rebal_kwargs = dict(window_s=window,
                                 util_threshold=args.rebalance_threshold)
 
+    plans = None
+    if args.fail_at is not None:
+        if args.topology != "sharded":
+            out(f"note: --fail-at is ignored in {args.topology} topology "
+                f"(chaos injection fails a dedicated shard and promotes "
+                f"its replica mirrors; only the sharded topology has "
+                f"both)")
+        elif rebal_kwargs is not None:
+            out("error: --fail-at cannot be combined with "
+                "--rebalance-online (migrations racing a failover would "
+                "make the ownership chain ambiguous)")
+            return 2
+        else:
+            from .serving import FailurePlan
+            plans = FailurePlan(fail_at=args.fail_at,
+                                shard=args.fail_shard,
+                                mode=args.fail_mode,
+                                recover_at=args.recover_at,
+                                degradation=args.fail_degradation)
+
     if args.profile:
         # Two independent replays of the identical workload — fresh
         # engine, placement, and rebalancer per lane so neither warm
@@ -484,7 +526,7 @@ def cmd_serve_sim(args, out=print) -> int:
             reb = OnlineRebalancer(**rebal_kwargs) \
                 if rebal_kwargs is not None else None
             eng = build_engine(placement=pl, die_of=plan_dies(pl),
-                               rebalancer=reb)
+                               rebalancer=reb, failures=plans)
             rep = run(eng, scheduler_cls=scheduler_cls)
             s = eng.last_scheduler
             calls = s.events_processed \
@@ -507,7 +549,7 @@ def cmd_serve_sim(args, out=print) -> int:
             if rebal_kwargs is not None else None
         engine = build_engine(placement=placement,
                               die_of=plan_dies(placement),
-                              rebalancer=rebalancer)
+                              rebalancer=rebalancer, failures=plans)
         report = run(engine)
 
     if args.topology == "pool":
@@ -546,6 +588,14 @@ def cmd_serve_sim(args, out=print) -> int:
         out(f"rebalance online: {report.migrations} migration(s) of "
             f"{report.migrated_vertices} vertex(es), "
             f"{report.handoff_rows} state rows handed off")
+    if report.chaos != "off":
+        out(f"chaos {report.chaos}: {report.failures} failure(s) / "
+            f"{report.recoveries} recovery(ies), "
+            f"{report.promoted_vertices} promoted + "
+            f"{report.rebuilt_vertices} rebuilt vertex(es), "
+            f"{report.recovery_rows} recovery rows; outage p99 "
+            f"{report.outage_p99_response_s * 1e3:.3f} ms over "
+            f"{report.outage_windows} window(s)")
     if args.json:
         with open(args.json, "w") as f:
             f.write(report.to_json() + "\n")

@@ -133,16 +133,45 @@ non-held endpoints is a policy (:mod:`repro.serving.memsync`):
 * ``ServingEngine(..., memsync=...)`` prices the sync traffic into service
   times and reports ``sync_edges`` / ``stale_reads`` / ``max_version_lag``
   (``serve-sim --memsync {none,invalidate,push}`` sweeps it).
+
+Failure injection and exact failover
+------------------------------------
+Chaos is a first-class schedule, not a test-only monkeypatch.  A
+:class:`FailurePlan` names *when* a shard fails, *how* (``slow`` — its
+service times are multiplied by a degradation factor; ``dead`` — the
+shard stops accepting sub-jobs and its vertex state is lost), and
+optionally when it recovers; the engine turns plans into
+:class:`FailureEvent` / :class:`RecoveryEvent` entries on the same
+scheduler (at migration priority, so a failure at time *t* lands after
+service ends and dispatches at *t* but before flushes and arrivals).
+:class:`FailureInjector` is the runtime: on a ``dead`` failure it drains
+the shard's queue (dropped sub-jobs are *counted*, never silently lost —
+conservation holds through the outage), promotes the dead shard's
+replica mirrors to owners via :meth:`ShardRouter.fail_over`, and rebuilds
+every unreplicated lost vertex by memsync replay from the
+lowest-numbered current peer — each rebuilt vertex priced at
+``HANDOFF_ROWS_PER_VERTEX`` rows through ``mail_hop_s``, exactly like a
+planned migration.  Recovery migrates the held state back (``fail-back``
+rows in the migration trace), so promote → rebuild → fail-back forms the
+same exactly-once ownership chain the rebalancer's invariant suite
+replays.  The functional mirror is
+:meth:`ShardedRuntime.fail_shard` / :meth:`ShardedRuntime.recover_shard`:
+under the ``push`` policy a failed-and-recovered run ends bit-identical
+to the unsharded runtime (the exactness suite in ``test_failover``).
+``serve-sim --fail-at --fail-shard --fail-mode --recover-at`` drives it;
+a run with chaos off omits every chaos key from the JSON report, so the
+golden reports of earlier revisions stay byte-identical.
 """
 
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
-from .engine import (ServingEngine, ServingReport, ShardStats,  # noqa: F401
-                     make_stream_arrivals)
+from .engine import (FailureInjector, ServingEngine,  # noqa: F401
+                     ServingReport, ShardStats, make_stream_arrivals)
 from .events import (INGEST_MODES, ArrivalEvent, BatcherActor,  # noqa: F401
-                     EventScheduler, FlushEvent, HeapEventScheduler,
-                     MailEvent, MigrationEvent, RouterActor, ServerGroup,
-                     ServiceBeginEvent, ServiceEndEvent, Submission,
-                     SyncEvent)
+                     EventScheduler, FailureEvent, FailurePlan,
+                     FlushEvent, HeapEventScheduler, MailEvent,
+                     MigrationEvent, RecoveryEvent, RouterActor,
+                     ServerGroup, ServiceBeginEvent, ServiceEndEvent,
+                     Submission, SyncEvent)
 from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
                       VersionedMemoryCache)
 from .rebalance import (HANDOFF_ROWS_PER_VERTEX,  # noqa: F401
@@ -150,7 +179,8 @@ from .rebalance import (HANDOFF_ROWS_PER_VERTEX,  # noqa: F401
 from .placement import (PLACEMENT_POLICIES, HotColdHybrid,  # noqa: F401
                         LoadAwareRebalance, Placement, PlacementPolicy,
                         ReplicatedReadMostly, StaticHashPlacement,
-                        VertexHeat, hash_assignment, make_policy)
+                        VertexHeat, hash_assignment, make_policy,
+                        replica_shards_from_traffic)
 from .registry import DEFAULT_REGISTRY, BackendRegistry  # noqa: F401
 from .router import CrossShardMailbox, ShardBatch, ShardRouter  # noqa: F401
 from .simulator import (ServedJob, SimulationResult,  # noqa: F401
@@ -165,10 +195,12 @@ __all__ = [
     "RouterActor", "Submission", "INGEST_MODES",
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
     "MailEvent", "SyncEvent", "MigrationEvent",
+    "FailureEvent", "RecoveryEvent", "FailurePlan", "FailureInjector",
     "OnlineRebalancer", "HANDOFF_ROWS_PER_VERTEX",
     "BackendRegistry", "DEFAULT_REGISTRY",
     "Placement", "PlacementPolicy", "VertexHeat", "hash_assignment",
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
     "HotColdHybrid", "PLACEMENT_POLICIES", "make_policy",
+    "replica_shards_from_traffic",
     "MEMSYNC_POLICIES", "VersionedMemoryCache", "ShardedRuntime",
 ]

@@ -63,15 +63,17 @@ import numpy as np
 from ..graph.batching import iter_time_windows
 from ..graph.temporal_graph import TemporalGraph
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
-from .events import (INGEST_MODES, BatcherActor, EventScheduler, RouterActor,
-                     ServerGroup, SimulationResult, Submission)
+from .events import (INGEST_MODES, _MIGRATE, BatcherActor, EventScheduler,
+                     FailureEvent, FailurePlan, MigrationEvent, RecoveryEvent,
+                     RouterActor, ServerGroup, SimulationResult, Submission)
 from .memsync import MEMSYNC_POLICIES, VersionedMemoryCache
 from .placement import HotColdHybrid, Placement, VertexHeat
+from .rebalance import HANDOFF_ROWS_PER_VERTEX
 from .registry import DEFAULT_REGISTRY, BackendRegistry
 from .router import CrossShardMailbox, ShardRouter
 
 __all__ = ["ShardStats", "ServingReport", "ServingEngine",
-           "make_stream_arrivals"]
+           "FailureInjector", "make_stream_arrivals"]
 
 TOPOLOGIES = ("sharded", "pool", "hybrid")
 
@@ -142,6 +144,14 @@ class ServingReport:
     migrations: int = 0         # MigrationEvents applied during the run
     migrated_vertices: int = 0  # distinct vertices that changed owner
     handoff_rows: int = 0       # state rows handed off by migrations
+    chaos: str = "off"          # failure injection (off|slow|dead|mixed)
+    failures: int = 0           # FailureEvents applied during the run
+    recoveries: int = 0         # RecoveryEvents applied during the run
+    promoted_vertices: int = 0  # dead-shard vertices promoted to a replica
+    rebuilt_vertices: int = 0   # dead-shard vertices rebuilt from peers
+    recovery_rows: int = 0      # state rows moved by failover + fail-back
+    outage_windows: int = 0     # served windows that arrived in an outage
+    outage_p99_response_s: float = 0.0  # p99 over those windows
 
     @property
     def stable(self) -> bool:
@@ -194,6 +204,14 @@ class ServingReport:
             for key in ("rebalance", "migrations", "migrated_vertices",
                         "handoff_rows"):
                 del d[key]
+        if d["chaos"] == "off":
+            # Same contract for failure injection: chaos-free runs keep
+            # the historical schema byte-for-byte.
+            for key in ("chaos", "failures", "recoveries",
+                        "promoted_vertices", "rebuilt_vertices",
+                        "recovery_rows", "outage_windows",
+                        "outage_p99_response_s"):
+                del d[key]
         return d
 
     def to_json(self) -> str:
@@ -234,6 +252,175 @@ def make_stream_arrivals(graph: TemporalGraph, window_s: float,
     # deterministically, not by sort stability over insertion order.
     arrivals.sort(key=lambda a: (a.t, a.stream))
     return arrivals
+
+
+class FailureInjector:
+    """Chaos-schedule driver: applies :class:`FailurePlan`\\ s on the loop.
+
+    Bound per run like the rebalancer.  Each plan schedules a
+    :class:`FailureEvent` (and, when ``recover_at`` is set, a
+    :class:`RecoveryEvent`) at ``_MIGRATE`` priority — the failure decided
+    at ``t`` applies before the next same-instant flush routes.
+
+    A **slow** failure sets the shard's service-time factor; recovery
+    resets it.  A **dead** failure fail-stops the :class:`ServerGroup`
+    (queued jobs drop, in-service jobs complete) and evacuates ownership:
+    replicated vertices promote their lowest surviving replica for free —
+    the replica already holds the full state — while unreplicated
+    vertices are rebuilt by memsync replay from peers, billed
+    ``HANDOFF_ROWS_PER_VERTEX`` rows each from a deterministic source
+    (the lowest surviving shard with a current copy per the run's
+    coherence cache, else the lowest survivor) through the engine's
+    ``mail_hop_s`` pricing.  Recovery **fails back**: the ownership
+    snapshot migrates home through the same priced path, demoting
+    promoted replicas back into their sets.  Every ownership change is
+    recorded as a :class:`MigrationEvent` (``"promote"`` / ``"rebuild"``
+    / ``"fail-back"``) so the trace replays a complete, exactly-once
+    ownership history across the failover.
+    """
+
+    def __init__(self, plans):
+        if isinstance(plans, FailurePlan):
+            plans = [plans]
+        self.plans = tuple(plans)
+        if not self.plans:
+            raise ValueError("need at least one FailurePlan")
+        for p in self.plans:
+            if not isinstance(p, FailurePlan):
+                raise TypeError(f"plans must be FailurePlan, got {type(p)}")
+
+    @property
+    def chaos(self) -> str:
+        """Report tag: the single mode in play, or ``"mixed"``."""
+        modes = {p.mode for p in self.plans}
+        return modes.pop() if len(modes) == 1 else "mixed"
+
+    def bind(self, sched, groups: Sequence[ServerGroup], router: ShardRouter,
+             cache: VersionedMemoryCache | None = None,
+             on_rows=None) -> None:
+        """Attach to one run, resetting counters and scheduling the plans.
+
+        ``on_rows(rows, from_shard, to_shard)`` is the engine's pricing
+        hook for recovery transfers; ``cache`` (when present) tracks the
+        coherence side of dead failovers and picks rebuild sources.
+        """
+        for p in self.plans:
+            if p.shard >= len(groups):
+                raise ValueError(f"failure shard {p.shard} out of range "
+                                 f"for {len(groups)} shards")
+            if p.mode == "dead" and len(groups) < 2:
+                raise ValueError("a dead-replica failure needs a survivor")
+        self._sched = sched
+        self._groups = list(groups)
+        self._router = router
+        self._cache = cache
+        self._on_rows = on_rows
+        self.failures = 0
+        self.recoveries = 0
+        self.promoted_vertices = 0
+        self.rebuilt_vertices = 0
+        self.recovery_rows = 0
+        self._closed_outages: list[tuple[float, float]] = []
+        self._open_outage: dict[int, float] = {}
+        self._owned_at_failure: dict[int, np.ndarray] = {}
+        for p in self.plans:
+            sched.schedule(p.fail_at, _MIGRATE,
+                           FailureEvent(p.fail_at, p.shard, p.mode,
+                                        p.degradation),
+                           self._on_fail)
+            if p.recover_at is not None:
+                sched.schedule(p.recover_at, _MIGRATE,
+                               RecoveryEvent(p.recover_at, p.shard, p.mode),
+                               self._on_recover)
+
+    def outage_intervals(self) -> list[tuple[float, float]]:
+        """Outage windows ``[fail, recover)``; unrecovered ones run open."""
+        return self._closed_outages + [(t0, float("inf"))
+                                       for t0 in self._open_outage.values()]
+
+    # ------------------------------------------------------------------ #
+    def _price(self, rows: int, from_shard: int, to_shard: int) -> None:
+        self.recovery_rows += rows
+        if self._on_rows is not None:
+            self._on_rows(rows, from_shard, to_shard)
+
+    def _rebuild_source(self, vertex: int, dead: int) -> int:
+        """Surviving peer the rebuild is modeled to read from: the lowest
+        shard with a current copy per the coherence cache, else the
+        lowest survivor (the durable-log replay still costs a transfer).
+        """
+        if self._cache is not None:
+            cache = self._cache
+            current = (cache.mirror_version[:, vertex]
+                       == cache.version[vertex]) \
+                & (cache._holder[:, vertex] | cache._mirror[:, vertex])
+            current[dead] = False
+            hit = np.flatnonzero(current)
+            if len(hit):
+                return int(hit[0])
+        return min(s for s in range(len(self._groups)) if s != dead)
+
+    def _on_fail(self, ev: FailureEvent) -> None:
+        self.failures += 1
+        self._open_outage[ev.shard] = ev.t
+        group = self._groups[ev.shard]
+        if ev.mode == "slow":
+            group.service_factor = ev.degradation
+            return
+        group.fail()
+        router = self._router
+        self._owned_at_failure[ev.shard] = \
+            np.flatnonzero(router.assignment == ev.shard)
+        promoted, rebuilt = router.fail_over(ev.shard)
+        self.promoted_vertices += len(promoted)
+        self.rebuilt_vertices += len(rebuilt)
+        sources = [self._rebuild_source(int(x), ev.shard)
+                   for x in rebuilt]
+        if self._cache is not None:
+            self._cache.fail_over(ev.shard, rebuilt,
+                                  router.assignment[rebuilt])
+        for x, src in zip(rebuilt.tolist(), sources):
+            self._price(HANDOFF_ROWS_PER_VERTEX, src,
+                        int(router.assignment[x]))
+        if self._sched.trace is not None:
+            for x in promoted.tolist():
+                self._sched.record(MigrationEvent(
+                    ev.t, int(x), ev.shard, int(router.assignment[x]),
+                    0, "promote"))
+            for x in rebuilt.tolist():
+                self._sched.record(MigrationEvent(
+                    ev.t, int(x), ev.shard, int(router.assignment[x]),
+                    HANDOFF_ROWS_PER_VERTEX, "rebuild"))
+
+    def _on_recover(self, ev: RecoveryEvent) -> None:
+        self.recoveries += 1
+        t0 = self._open_outage.pop(ev.shard, None)
+        if t0 is not None:
+            self._closed_outages.append((t0, ev.t))
+        group = self._groups[ev.shard]
+        group.restore()
+        if ev.mode == "slow":
+            return
+        router = self._router
+        owned = self._owned_at_failure.pop(ev.shard, np.empty(0, np.int64))
+        move = owned[router.assignment[owned] != ev.shard]
+        if not len(move):
+            return
+        owners = router.assignment[move].copy()
+        # Pre-flip replication status: promoted vertices keep their interim
+        # owner as a holder (it demotes back into the replica set).
+        keep = np.array([bool(router.placement.replicas.get(int(x)))
+                         for x in move])
+        router.migrate(move, ev.shard)
+        if self._cache is not None:
+            self._cache.transfer_ownership(move, owners, ev.shard,
+                                           keep_holder=keep)
+        for x, frm in zip(move.tolist(), owners.tolist()):
+            self._price(HANDOFF_ROWS_PER_VERTEX, int(frm), ev.shard)
+            if self._sched.trace is not None:
+                self._sched.record(MigrationEvent(
+                    ev.t, int(x), int(frm), ev.shard,
+                    HANDOFF_ROWS_PER_VERTEX, "fail-back"))
 
 
 class ServingEngine:
@@ -298,6 +485,19 @@ class ServingEngine:
         ``handoff_rows``.  In hybrid topology the rebalancer runs in
         drift mode: heating pool vertices are promoted onto dedicated
         shards, cooled dedicated-shard vertices demoted back to the pool.
+    failures:
+        A :class:`~repro.serving.events.FailurePlan` (or sequence of them)
+        to inject during each run (sharded and hybrid topologies): the
+        :class:`FailureInjector` schedules the failure/recovery events,
+        applies them to the shard's :class:`ServerGroup` and — for dead
+        failures — runs replica promotion / peer rebuild / fail-back
+        through the router and memsync cache, pricing recovery rows via
+        ``mail_hop_s``.  The report gains ``chaos`` / ``failures`` /
+        ``recoveries`` / ``promoted_vertices`` / ``rebuilt_vertices`` /
+        ``recovery_rows`` / ``outage_windows`` / ``outage_p99_response_s``
+        (keys omitted when off).  Mutually exclusive with ``rebalancer``:
+        a failover would invalidate the rebalancer's in-flight
+        decision-to-application ownership check.
     """
 
     def __init__(self, backends: Sequence, num_nodes: int,
@@ -309,7 +509,8 @@ class ServingEngine:
                  topology: str = "sharded",
                  pool_servers: int | None = None,
                  memsync: str = "none",
-                 rebalancer=None):
+                 rebalancer=None,
+                 failures=None):
         if not backends:
             raise ValueError("need at least one backend")
         if topology not in TOPOLOGIES:
@@ -327,11 +528,20 @@ class ServingEngine:
                     "pool_servers requires topology='pool' or 'hybrid'")
             if pool_servers <= 0:
                 raise ValueError("pool_servers must be positive")
+        if rebalancer is not None and failures is not None:
+            raise ValueError(
+                "failure injection and online rebalancing cannot run "
+                "together: a failover changes ownership underneath the "
+                "rebalancer's decision-to-application consistency check")
         if topology == "pool":
             if rebalancer is not None:
                 raise ValueError(
                     "pool topology has no partition to rebalance: "
                     "rebalancer does not apply")
+            if failures is not None:
+                raise ValueError(
+                    "pool topology has one shared queue and state store: "
+                    "per-shard failure injection does not apply")
             if len(backends) != 1:
                 raise ValueError(
                     "pool topology takes exactly one timing backend "
@@ -372,6 +582,8 @@ class ServingEngine:
         self.mail_hop_s = float(mail_hop_s)
         self.memsync = memsync
         self.rebalancer = rebalancer
+        self.failure_injector = None if failures is None \
+            else FailureInjector(failures)
         # Populated by each run: typed trace (or None), the scheduler
         # instance (counters), and the event-loop wall-clock seconds.
         self.last_event_trace = None
@@ -553,6 +765,18 @@ class ServingEngine:
                                    if self.topology == "hybrid" else None),
                        on_migrate=price_handoff)
 
+        # Recovery transfers (peer rebuilds, fail-backs) ride the same
+        # channel and pricing as migration handoffs.
+        chaos = self.failure_injector
+        if chaos is not None:
+            def price_recovery(rows, from_shard, to_shard):
+                if self.die_of is not None \
+                        and self.die_of[from_shard] != self.die_of[to_shard]:
+                    pending_handoff_hops[to_shard] += rows
+
+            chaos.bind(sched, groups, router=self.router, cache=cache,
+                       on_rows=price_recovery)
+
         def route(job: CoalescedJob) -> list[Submission]:
             ji = len(jobs)
             jobs.append(job)
@@ -616,7 +840,7 @@ class ServingEngine:
                                      window_s, speedup, num_streams, ingest)
         return self._sharded_report(arrivals, jobs, per_shard, shard_results,
                                     window_s, speedup, num_streams, ingest,
-                                    rebal)
+                                    rebal, chaos)
 
     # ------------------------------------------------------------------ #
     def _sharded_report(self, arrivals: list[StreamArrival],
@@ -624,7 +848,7 @@ class ServingEngine:
                         per_shard: list[list[tuple[float, tuple]]],
                         shard_results: list[SimulationResult],
                         window_s: float, speedup: float, num_streams: int,
-                        ingest: str, rebal=None) -> ServingReport:
+                        ingest: str, rebal=None, chaos=None) -> ServingReport:
         mailbox = CrossShardMailbox(self.num_shards)
 
         # Resolve drops globally first: a window is dropped if *any*
@@ -666,7 +890,11 @@ class ServingEngine:
 
         # Window-level accounting: a window responds when its job's last
         # shard finishes; it is dropped if any shard's queue rejected it.
+        # Windows arriving inside an outage interval feed the chaos tail
+        # metrics separately — the recovery bill lands there.
+        outages = chaos.outage_intervals() if chaos is not None else []
         responses: list[float] = []
+        outage_resp: list[float] = []
         dropped_windows = 0
         for ji, job in enumerate(jobs):
             if job_dropped[ji] or not np.isfinite(finish_of_job[ji]):
@@ -674,6 +902,8 @@ class ServingEngine:
                 continue
             for a in job.sources:
                 responses.append(finish_of_job[ji] - a.t)
+                if outages and any(lo <= a.t < hi for lo, hi in outages):
+                    outage_resp.append(responses[-1])
 
         hybrid = self.topology == "hybrid"
         stats = tuple(
@@ -732,7 +962,17 @@ class ServingEngine:
             rebalance="off" if rebal is None else "online",
             migrations=0 if rebal is None else rebal.migrations,
             migrated_vertices=0 if rebal is None else rebal.migrated_vertices,
-            handoff_rows=0 if rebal is None else rebal.handoff_rows)
+            handoff_rows=0 if rebal is None else rebal.handoff_rows,
+            chaos="off" if chaos is None else chaos.chaos,
+            failures=0 if chaos is None else chaos.failures,
+            recoveries=0 if chaos is None else chaos.recoveries,
+            promoted_vertices=0 if chaos is None else chaos.promoted_vertices,
+            rebuilt_vertices=0 if chaos is None else chaos.rebuilt_vertices,
+            recovery_rows=0 if chaos is None else chaos.recovery_rows,
+            outage_windows=len(outage_resp),
+            outage_p99_response_s=float(
+                np.percentile(np.sort(np.asarray(outage_resp)), 99))
+            if outage_resp else 0.0)
 
     # ------------------------------------------------------------------ #
     def _pool_report(self, arrivals: list[StreamArrival],

@@ -40,6 +40,15 @@ kept verbatim as the behavioral oracle: the scheduler-equivalence
 property tests require bit-identical outcomes between the two, and the
 serving bench / ``serve-sim --profile`` use it as the "before" lane.
 
+Cancellation follows the same split: heap tokens are cancellable (the
+pop discards them), run tokens are **not** — a run is one consumption
+pointer over a contiguous block, so :meth:`EventScheduler.cancel` raises
+on a run token rather than silently letting the event fire.  Both
+schedulers clear the dead-set when they drain, so cancellations that
+never meet a pop (issued after the event already fired) cannot leak.
+Cancel behavior on the heap path is property-tested for parity between
+the two implementations.
+
 Event types
 -----------
 :class:`ArrivalEvent`       a stream window reaches the ingest tier
@@ -49,6 +58,8 @@ Event types
 :class:`MailEvent`          cross-shard edge mail, at delivery time (trace)
 :class:`SyncEvent`          memory rows pulled/pushed between shards (trace)
 :class:`MigrationEvent`     a vertex changes owner mid-run (scheduled)
+:class:`FailureEvent`       a shard degrades or dies mid-run (scheduled)
+:class:`RecoveryEvent`      a failed shard comes back (scheduled)
 
 At equal timestamps events fire in a fixed priority order (service ends,
 then dispatches, then migrations, then flushes, then arrivals) so that
@@ -75,6 +86,30 @@ so version counters stay exact across the change, and the state handoff
 ``mail_hop_s`` die-crossing machinery as :class:`SyncEvent` traffic.  The
 event lands in the trace like every other kind, so the invariant tests can
 replay the full ownership history.
+
+Failure / recovery lifecycle
+----------------------------
+Failures are events too.  A :class:`FailurePlan` names an instant, a
+shard, and a mode; the engine's chaos driver
+(:class:`~repro.serving.engine.FailureInjector`) schedules the matching
+:class:`FailureEvent` / :class:`RecoveryEvent` pair at ``_MIGRATE``
+priority — like a migration, a failure decided at ``t`` applies before
+the next job released at ``t`` is routed.  A **slow** failure sets the
+:class:`ServerGroup`'s ``service_factor``; every service time committed
+while it is active is multiplied, and recovery resets it.  A **dead**
+failure is fail-stop: the group stops accepting (queued jobs drop, jobs
+already in service complete — their service time was committed at
+begin), and ownership is evacuated at the failure instant.  Vertices
+with surviving replicas *promote* the lowest-id replica to owner — a
+replica is a full holder, so promotion moves zero state; unreplicated
+vertices are reassigned across the survivors and *rebuilt* by memsync
+replay from peers, with ``HANDOFF_ROWS_PER_VERTEX`` rows per vertex
+priced through ``mail_hop_s`` like every other transfer.  Recovery fails
+the snapshot back through the ordinary exact migration path, which
+demotes promoted replicas back into their replica sets.  Each ownership
+change lands in the trace as a :class:`MigrationEvent` (reasons
+``"promote"`` / ``"rebuild"`` / ``"fail-back"``), so the exactly-once
+ownership-chain invariant covers failovers for free.
 
 Actors
 ------
@@ -123,7 +158,8 @@ from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
 
 __all__ = [
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
-    "MailEvent", "SyncEvent", "MigrationEvent", "EventScheduler",
+    "MailEvent", "SyncEvent", "MigrationEvent", "FailureEvent",
+    "RecoveryEvent", "FailurePlan", "EventScheduler",
     "HeapEventScheduler", "ServedJob", "SimulationResult", "ServerGroup",
     "BatcherActor", "RouterActor", "Submission", "INGEST_MODES",
 ]
@@ -222,6 +258,74 @@ class MigrationEvent:
     reason: str
 
 
+@dataclass(frozen=True)
+class FailureEvent:
+    """Shard ``shard`` fails at ``t``.
+
+    Two modes.  ``"slow"``: the shard keeps serving but every service time
+    is multiplied by ``degradation`` (a brown-out — thermal throttling, a
+    noisy neighbor) until recovery.  ``"dead"``: the shard stops accepting
+    sub-jobs, its queue drains to drops, and its vertex state is *lost* —
+    the handler evacuates ownership at this instant (replica promotion /
+    memsync rebuild, recorded as ``"promote"`` / ``"rebuild"``
+    :class:`MigrationEvent` trace rows), so no job released after ``t``
+    is ever routed to the dead shard.  Scheduled at ``_MIGRATE`` priority:
+    the failure applies before the next same-instant flush routes.
+    """
+
+    t: float
+    shard: int
+    mode: str
+    degradation: float
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """Shard ``shard`` recovers at ``t`` from a ``mode`` failure.
+
+    A slow shard simply returns to full speed.  A dead shard resumes
+    accepting and **fails back**: every vertex it owned at failure time
+    migrates home through the ordinary exact handoff path (priced rows,
+    ``"fail-back"`` :class:`MigrationEvent` trace entries), which restores
+    promoted replicas into their replica sets.
+    """
+
+    t: float
+    shard: int
+    mode: str
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """One scheduled failure (and optional recovery) for the chaos driver.
+
+    ``fail_at``/``recover_at`` are event-loop instants; ``recover_at=None``
+    leaves the shard failed for the rest of the run.  ``degradation`` is
+    the slow-mode service-time multiplier and must exceed 1 (a factor of 1
+    would be byte-invisible, which is what ``mode="slow"`` exists to not
+    be).
+    """
+
+    fail_at: float
+    shard: int
+    mode: str = "dead"
+    recover_at: float | None = None
+    degradation: float = 4.0
+
+    def __post_init__(self):
+        if self.mode not in ("slow", "dead"):
+            raise ValueError(f"unknown failure mode {self.mode!r}; "
+                             "expected 'slow' or 'dead'")
+        if self.shard < 0:
+            raise ValueError("shard must be non-negative")
+        if not math.isfinite(self.fail_at):
+            raise ValueError("fail_at must be finite")
+        if self.recover_at is not None and self.recover_at <= self.fail_at:
+            raise ValueError("recover_at must be after fail_at")
+        if self.mode == "slow" and self.degradation <= 1.0:
+            raise ValueError("slow-mode degradation must exceed 1.0")
+
+
 # --------------------------------------------------------------------------- #
 class HeapEventScheduler:
     """Heap-driven event loop with deterministic same-time ordering.
@@ -283,6 +387,10 @@ class HeapEventScheduler:
             if event is not None and self.trace is not None:
                 self.trace.append(event)
             handler(event)
+        # Drained.  Tokens cancelled *after* their event fired never meet
+        # the pop-time discard above; without this they would pin the
+        # dead-set for the scheduler's whole lifetime.
+        self._dead.clear()
 
 
 class _EventRun:
@@ -379,7 +487,19 @@ class EventScheduler:
                                     handler))
 
     def cancel(self, token: int) -> None:
-        """Mark a heap-scheduled event dead; it is skipped when popped."""
+        """Mark a heap-scheduled event dead; it is skipped when popped.
+
+        Run-scheduled tokens cannot be cancelled: a run is a single
+        consumption pointer over a contiguous block, so honoring a
+        cancellation would put a per-element liveness check on the hot
+        path.  Cancelling one raises instead of silently firing the event
+        anyway (the bug this guard replaces).
+        """
+        for r in self._runs:
+            if r.base <= token < r.base + r.n:
+                raise ValueError(
+                    f"token {token} belongs to a run scheduled via "
+                    "schedule_run; run events cannot be cancelled")
         self._dead.add(token)
 
     def record(self, event) -> None:
@@ -428,6 +548,11 @@ class EventScheduler:
                 handler(event)
                 continue
             if best is None:
+                # Drained (the heap is empty too, or we would not be
+                # here).  Clear cancellations that never met a pop —
+                # tokens cancelled after firing, or heap-path parity with
+                # HeapEventScheduler — so they do not leak forever.
+                dead.clear()
                 return
             pos = best.pos
             t0 = float(best.ts[pos])
@@ -593,6 +718,10 @@ class ServerGroup:
         self._max_depth = 0
         self._dispatch_pending = False
         self.on_hungry = on_hungry
+        # Failure-injection state (see FailureEvent): a slow failure sets
+        # the service-time multiplier, a dead failure clears ``accepting``.
+        self.service_factor = 1.0
+        self.accepting = True
 
     # ------------------------------------------------------------------ #
     @property
@@ -614,6 +743,11 @@ class ServerGroup:
         """Admit (or drop) a job arriving at the current event time."""
         i = len(self._arrivals)
         self._arrivals.append((t, payload))
+        if not self.accepting:
+            # Dead shard: the offer is recorded (conservation — served +
+            # dropped must still equal offered) but the job is dropped.
+            self._dropped.append(i)
+            return
         if self._idle and not self._waiting:
             self._begin(t, i)
             return
@@ -633,6 +767,8 @@ class ServerGroup:
         service = float(self._service_fn(payload))
         if service < 0:
             raise ValueError("service_fn returned a negative service time")
+        if self.service_factor != 1.0:
+            service *= self.service_factor
         free_t, srv = heapq.heappop(self._idle)
         begin = max(free_t, t_arrive)
         finish = begin + service
@@ -677,6 +813,28 @@ class ServerGroup:
             self._begin(now, self._waiting.popleft())
         if self.on_hungry is not None and self.hungry:
             self.on_hungry(now)
+
+    # ------------------------------------------------------------------ #
+    def fail(self) -> int:
+        """Dead-replica failure: stop accepting and drop the queue.
+
+        Jobs already in service complete — their service time was
+        committed at begin, exactly like a real fail-stop draining
+        in-flight work — while waiting jobs are dropped and counted like
+        capacity rejections, so window conservation (served + dropped ==
+        offered) holds across the outage.  Returns the number of queued
+        jobs dropped.
+        """
+        self.accepting = False
+        n = len(self._waiting)
+        while self._waiting:
+            self._dropped.append(self._waiting.popleft())
+        return n
+
+    def restore(self) -> None:
+        """Recover from any failure: accept again, at full service speed."""
+        self.accepting = True
+        self.service_factor = 1.0
 
     # ------------------------------------------------------------------ #
     def finalize(self) -> SimulationResult:

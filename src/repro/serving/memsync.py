@@ -194,8 +194,8 @@ class VersionedMemoryCache:
                     pushes[shard] = tgt
         return pushes
 
-    def transfer_ownership(self, vertices, from_shards, to_shard: int
-                           ) -> None:
+    def transfer_ownership(self, vertices, from_shards, to_shard: int,
+                           keep_holder=False) -> None:
         """Move ownership of ``vertices`` from ``from_shards`` to
         ``to_shard`` (an online migration's coherence side).
 
@@ -209,6 +209,13 @@ class VersionedMemoryCache:
         keeps receiving updates while present, under ``invalidate``/
         ``none`` it simply ages like any other mirror.
 
+        ``keep_holder`` (scalar or per-vertex bool array) marks old owners
+        that *demote into the vertex's replica set* instead — a replicated
+        vertex's migration (:meth:`~repro.serving.router.ShardRouter.\
+migrate`) keeps the old owner as a full holder, which continues to
+        observe every write event, so it must stay on the holder side of
+        the coherence split rather than become an aging mirror.
+
         The caller flips the routing side separately
         (:meth:`~repro.serving.router.ShardRouter.migrate`) and prices the
         transferred rows; this method only maintains coherence metadata.
@@ -216,16 +223,43 @@ class VersionedMemoryCache:
         v = np.asarray(vertices, dtype=np.int64)
         f = np.broadcast_to(np.asarray(from_shards, dtype=np.int64),
                             v.shape)
+        keep = np.broadcast_to(np.asarray(keep_holder, dtype=bool), v.shape)
         if not 0 <= int(to_shard) < self.num_shards:
             raise ValueError("to_shard out of range")
         # Old-owner bookkeeping first so a degenerate from == to transfer
         # resolves to "still the holder", not a holder-mirror hybrid.
-        self._holder[f, v] = False
-        self._mirror[f, v] = True
-        self.mirror_version[f, v] = self.version[v]
+        drop = ~keep
+        self._holder[f[drop], v[drop]] = False
+        self._mirror[f[drop], v[drop]] = True
+        self.mirror_version[f[drop], v[drop]] = self.version[v[drop]]
         self._holder[to_shard, v] = True
         self._mirror[to_shard, v] = False
         self.mirror_version[to_shard, v] = self.version[v]
+
+    def fail_over(self, dead: int, rebuilt, new_owners) -> None:
+        """Coherence side of a dead-replica failover.
+
+        Unlike a migration's demote-to-mirror, the dead shard's copies are
+        *lost*: it leaves the holder set everywhere and keeps no mirrors.
+        Promoted vertices need no state action — their new owner was a
+        replica, hence already a current holder.  Each ``rebuilt[i]``
+        vertex's rows were delivered to ``new_owners[i]`` by the caller's
+        memsync replay, so the new owner is stamped a current holder
+        (version history survives, exactly as in ownership transfer).
+        """
+        dead = int(dead)
+        if not 0 <= dead < self.num_shards:
+            raise ValueError("dead shard out of range")
+        self._holder[dead, :] = False
+        self._mirror[dead, :] = False
+        self.mirror_version[dead, :] = 0
+        v = np.asarray(rebuilt, dtype=np.int64)
+        if len(v):
+            o = np.broadcast_to(np.asarray(new_owners, dtype=np.int64),
+                                v.shape)
+            self._holder[o, v] = True
+            self._mirror[o, v] = False
+            self.mirror_version[o, v] = self.version[v]
 
 
 # --------------------------------------------------------------------------- #
@@ -257,7 +291,12 @@ class ShardedRuntime:
     between batches with the full state handoff (memory rows +
     neighbor-table slices + version-counter transfer), and the exactness
     guarantee above survives the move — the acceptance suite in
-    ``tests/unit/test_rebalance.py``.
+    ``tests/unit/test_rebalance.py``.  :meth:`fail_shard` /
+    :meth:`recover_shard` are the failure-injection hooks: a dead shard's
+    state is scrubbed, replicated vertices promote an exact replica,
+    unreplicated ones are rebuilt from peers + the durable edge log, and
+    recovery fails the snapshot back — with the same bit-identity
+    guarantee once recovered (``tests/unit/test_failover.py``).
     """
 
     def __init__(self, model, graph, num_shards: int | None = None,
@@ -275,6 +314,11 @@ class ShardedRuntime:
         self.mailbox = CrossShardMailbox(self.router.num_shards)
         self.runtimes = [model.new_runtime(graph)
                          for _ in range(self.router.num_shards)]
+        # Failure-injection bookkeeping: the stream position already
+        # replayed (the durable edge-log horizon ring rebuilds replay to)
+        # and, per failed shard, the ownership snapshot recovery restores.
+        self._eid_horizon = 0
+        self._failed: dict[int, np.ndarray] = {}
 
     @property
     def policy(self) -> str:
@@ -317,8 +361,10 @@ transfer_ownership` stamps the new owner current and downgrades the old
 
         The handoff is priced like sync traffic: ``HANDOFF_ROWS_PER_VERTEX``
         rows per vertex recorded in the mailbox's ``sync_counts``.
-        Replicated vertices are refused (the router enforces it).  Returns
-        the number of vertices actually moved (those not already owned by
+        Replicated vertices migrate too: the old owner demotes into the
+        replica set (it keeps receiving every incident edge, so it stays a
+        holder — ``keep_holder`` on the coherence side).  Returns the
+        number of vertices actually moved (those not already owned by
         ``to_shard``).
         """
         from .rebalance import HANDOFF_ROWS_PER_VERTEX
@@ -330,15 +376,15 @@ transfer_ownership` stamps the new owner current and downgrades the old
             raise ValueError("to_shard out of range")
         if len(v) and (v.min() < 0 or v.max() >= self.router.num_nodes):
             raise ValueError("vertex out of range")
-        for x in v:
-            if self.router.placement.replicas.get(int(x)):
-                raise ValueError(
-                    f"cannot migrate replicated vertex {int(x)}")
         owners = self.router.assignment[v]
         v = v[owners != int(to_shard)]
         owners = owners[owners != int(to_shard)]
         if not len(v):
             return 0
+        # Replication status *before* the routing flip decides which old
+        # owners stay holders (they demote into the replica set).
+        keep = np.array([bool(self.router.placement.replicas.get(int(x)))
+                         for x in v])
         dst_state = self.runtimes[to_shard].state
         dst_table = self.runtimes[to_shard].sampler.table
         for owner in np.unique(owners):
@@ -358,8 +404,138 @@ transfer_ownership` stamps the new owner current and downgrades the old
                 np.repeat(owner, len(rows) * HANDOFF_ROWS_PER_VERTEX),
                 to_shard)
         self.router.migrate(v, to_shard)
-        self.cache.transfer_ownership(v, owners, to_shard)
+        self.cache.transfer_ownership(v, owners, to_shard, keep_holder=keep)
         return len(v)
+
+    # ------------------------------------------------------------------ #
+    def _current_peer(self, vertex: int, dead: int) -> int | None:
+        """Lowest surviving shard holding a *current* copy of ``vertex``.
+
+        Holders are always current; mirrors qualify when their stamp
+        matches the owner version — under ``push`` every shard that
+        participated in the vertex's last batch does, because it pulled
+        the pre-batch rows and computed (or received) the same update.
+        """
+        current = (self.cache.mirror_version[:, vertex]
+                   == self.cache.version[vertex]) \
+            & (self.cache._holder[:, vertex] | self.cache._mirror[:, vertex])
+        current[dead] = False
+        hit = np.flatnonzero(current)
+        return int(hit[0]) if len(hit) else None
+
+    def _replay_rings(self, vertices: np.ndarray) -> None:
+        """Rebuild lost FIFO rings by replaying the durable edge log.
+
+        A vertex's ring is a pure function of its incident-edge history in
+        stream order (:meth:`~repro.graph.neighbor_table.NeighborTable.\
+insert_edges` groups per vertex, keeps the newest ``mr``, and advances
+        the head by the total insertion count), so replaying edges
+        ``[0, eid_horizon)`` into a reset row reproduces the lost
+        holder's row **bit-for-bit** — same slots, same head, same count —
+        not merely the same logical neighbor set.
+        """
+        if not len(vertices):
+            return
+        h = self._eid_horizon
+        src = self.graph.src[:h]
+        dst = self.graph.dst[:h]
+        eid = np.arange(h, dtype=np.int64)
+        t = self.graph.t[:h]
+        # The interleaved endpoint stream insert_edges would have built:
+        # element 2i is (src -> dst), 2i+1 its (dst -> src) twin.
+        vs = np.empty(2 * h, dtype=np.int64)
+        ps = np.empty(2 * h, dtype=np.int64)
+        es = np.empty(2 * h, dtype=np.int64)
+        ts = np.empty(2 * h, dtype=np.float64)
+        vs[0::2], vs[1::2] = src, dst
+        ps[0::2], ps[1::2] = dst, src
+        es[0::2], es[1::2] = eid, eid
+        ts[0::2], ts[1::2] = t, t
+        owners = self.router.assignment[vertices]
+        for owner in np.unique(owners):
+            rows = vertices[owners == owner]
+            table = self.runtimes[owner].sampler.table
+            table._nbrs[rows] = 0
+            table._eids[rows] = 0
+            table._times[rows] = -np.inf
+            table._head[rows] = 0
+            table._count[rows] = 0
+            sel = np.isin(vs, rows)
+            if sel.any():
+                table._insert(vs[sel], ps[sel], es[sel], ts[sel])
+
+    def fail_shard(self, shard: int) -> dict[str, int]:
+        """Fail-stop ``shard`` — its state is lost — and evacuate exactly.
+
+        Ownership moves via :meth:`~repro.serving.router.ShardRouter.\
+fail_over`: replicated vertices *promote* a surviving replica (a full
+        holder, so its memory rows and FIFO ring are already exact and no
+        state moves), unreplicated vertices get a surviving owner and are
+        *rebuilt* — the vertex-state row copied from the lowest surviving
+        shard with a current copy (see :meth:`_current_peer`), the FIFO
+        ring replayed bit-exactly from the durable edge log (see
+        :meth:`_replay_rings`), ``HANDOFF_ROWS_PER_VERTEX`` rows per
+        vertex recorded in the mailbox like any other transfer.  Vertices
+        with a write history but no surviving current copy are counted
+        ``cold``: their ring is rebuilt but their memory rows restart from
+        zero — genuinely lost data, which the exactness suite pins to zero
+        for the coverage it certifies.
+
+        The dead runtime is scrubbed and the ownership snapshot kept so
+        :meth:`recover_shard` can fail back.  Returns ``{"promoted",
+        "rebuilt", "cold", "rows"}`` counts.
+        """
+        from .rebalance import HANDOFF_ROWS_PER_VERTEX
+        shard = int(shard)
+        if shard in self._failed:
+            raise ValueError(f"shard {shard} is already failed")
+        owned_before = np.flatnonzero(self.router.assignment == shard)
+        promoted, rebuilt = self.router.fail_over(shard)
+        rows = 0
+        cold = 0
+        for x in rebuilt.tolist():
+            new_owner = int(self.router.assignment[x])
+            dst = self.runtimes[new_owner].state
+            peer = self._current_peer(x, shard)
+            if peer is None:
+                # No surviving current copy: fresh-vertex rows are exactly
+                # this (version 0); written vertices are honestly cold.
+                if self.cache.version[x] > 0:
+                    cold += 1
+                dst.memory[x] = 0.0
+                dst.mailbox[x] = 0.0
+                dst.mail_time[x] = -np.inf
+                dst.last_update[x] = 0.0
+            else:
+                src = self.runtimes[peer].state
+                dst.memory[x] = src.memory[x]
+                dst.mailbox[x] = src.mailbox[x]
+                dst.mail_time[x] = src.mail_time[x]
+                dst.last_update[x] = src.last_update[x]
+                self.mailbox.record_sync(
+                    np.repeat(peer, HANDOFF_ROWS_PER_VERTEX), new_owner)
+                rows += HANDOFF_ROWS_PER_VERTEX
+        self._replay_rings(rebuilt)
+        self.cache.fail_over(shard, rebuilt, self.router.assignment[rebuilt])
+        # The whole premise: the dead shard's state is gone.
+        self.runtimes[shard].reset()
+        self._failed[shard] = owned_before
+        return {"promoted": len(promoted), "rebuilt": len(rebuilt),
+                "cold": cold, "rows": rows}
+
+    def recover_shard(self, shard: int) -> int:
+        """Fail the snapshot back: the recovered shard re-owns everything
+        it owned at failure time through the ordinary exact migration path
+        (state rows + ring slices copied from the interim owners, priced
+        as handoff rows).  Promoted replicas demote back into the replica
+        set; interim owners of rebuilt vertices give them up.  Returns the
+        number of vertices failed back.
+        """
+        shard = int(shard)
+        owned = self._failed.pop(shard, None)
+        if owned is None:
+            raise ValueError(f"shard {shard} is not failed")
+        return self.migrate(owned, shard)
 
     def process_batch(self, batch: EdgeBatch) -> dict[int, "BatchResult"]:
         """Process one chronological batch across all shards.
@@ -370,6 +546,9 @@ transfer_ownership` stamps the new owner current and downgrades the old
         partial neighbor table (exactly as in deployment, where a shard
         answers queries only for the vertices it holds).
         """
+        if len(batch.eid):
+            self._eid_horizon = max(self._eid_horizon,
+                                    int(batch.eid.max()) + 1)
         subs = self.router.split(batch, self.mailbox, cache=self.cache)
         # Endpoint sync happened inside split (phase 1): apply the pulls
         # before any shard's memory stage reads the rows.

@@ -212,10 +212,10 @@ ShardedRuntime.migrate` records, so the timing report and the functional
 
     # ------------------------------------------------------------------ #
     def _movable(self, v: int) -> bool:
-        """Not replicated (migrating a replica would orphan its copies)
-        and not inside its post-migration cooldown."""
-        if int(v) in self._router.placement.replicas:
-            return False
+        """Not inside its post-migration cooldown.  Replicated vertices
+        move too: :meth:`~repro.serving.router.ShardRouter.migrate`
+        demotes the old owner into the replica set, so copies are never
+        orphaned."""
         return self._frozen_until.get(int(v), -1) <= self._window_index
 
     def _emit(self, t: float, v: int, to_shard: int, reason: str) -> None:
@@ -239,10 +239,13 @@ ShardedRuntime.migrate` records, so the timing report and the functional
                 f"migration of vertex {ev.vertex} expected owner "
                 f"{ev.from_shard} but found {owner}: ownership changed "
                 f"between decision and application")
+        # Replication status before the flip: a replicated vertex's old
+        # owner demotes into the replica set and must stay a holder.
+        keep = bool(self._router.placement.replicas.get(int(ev.vertex)))
         self._router.migrate([ev.vertex], ev.to_shard)
         if self._cache is not None:
             self._cache.transfer_ownership([ev.vertex], [ev.from_shard],
-                                           ev.to_shard)
+                                           ev.to_shard, keep_holder=keep)
         self.handoff_rows += ev.rows
         if self._on_migrate is not None:
             self._on_migrate(ev)

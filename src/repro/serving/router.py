@@ -158,12 +158,18 @@ class ShardRouter:
         stays exactly-once by construction — one assignment entry per
         vertex, flipped atomically inside a single event handler.
 
-        Replicated vertices are refused: moving the primary out from under
-        its replica set would break the :class:`Placement` owner/replica
-        invariant (de-replicate first).  The caller is responsible for the
-        *state* side of the handoff — transferring rows and informing the
-        memsync cache (:meth:`VersionedMemoryCache.transfer_ownership`),
-        which the :class:`~repro.serving.rebalance.OnlineRebalancer` and
+        Replicated vertices migrate too: the old owner — whose copy is
+        exact at handoff time, since holders see every incident edge —
+        **demotes into the replica set** (it stays a holder), and if the
+        new owner was itself a replica it is promoted out of the set, so
+        the :class:`Placement` owner/replica invariant holds throughout
+        and the number of holders never shrinks mid-move.  Unreplicated
+        vertices move plainly: the old owner ceases to hold the vertex.
+        The caller is responsible for the *state* side of the handoff —
+        transferring rows and informing the memsync cache
+        (:meth:`VersionedMemoryCache.transfer_ownership`, whose
+        ``keep_holder`` flag mirrors the demotion), which the
+        :class:`~repro.serving.rebalance.OnlineRebalancer` and
         :meth:`~repro.serving.memsync.ShardedRuntime.migrate` both do.
 
         Returns the previous owner of each vertex.
@@ -173,15 +179,74 @@ class ShardRouter:
             raise ValueError("vertex out of range")
         if not 0 <= int(to_shard) < self.num_shards:
             raise ValueError("to_shard out of range")
-        for x in v:
-            if self.placement.replicas.get(int(x)):
-                raise ValueError(
-                    f"cannot migrate replicated vertex {int(x)}")
+        to = int(to_shard)
         old = self.assignment[v].copy()
-        self._member[old, v] = False
-        self.assignment[v] = int(to_shard)
-        self._member[int(to_shard), v] = True
+        replicas = self.placement.replicas
+        for x, o in zip(v.tolist(), old.tolist()):
+            extra = replicas.get(x)
+            if extra:
+                # Demote the old owner into the replica set; promote the
+                # target out of it if it was a member.
+                new_extra = tuple(s for s in extra if s != to)
+                if o != to:
+                    new_extra += (o,)
+                replicas[x] = new_extra
+            elif o != to:
+                self._member[o, x] = False
+        self.assignment[v] = to
+        self._member[to, v] = True
         return old
+
+    def fail_over(self, dead: int) -> tuple[np.ndarray, np.ndarray]:
+        """Evacuate ownership off a dead shard whose state is lost.
+
+        Every vertex owned by ``dead`` gets a surviving owner at this
+        instant: a replicated vertex **promotes** its lowest-id replica —
+        a replica is a full holder, so the new owner's state is already
+        exact and nothing moves — while an unreplicated vertex is
+        reassigned round-robin across the survivors and must be
+        **rebuilt** by the caller (memsync replay from peers; see
+        :meth:`~repro.serving.memsync.ShardedRuntime.fail_shard`).  The
+        dead shard also drops out of every replica set it belonged to and
+        holds nothing afterwards.
+
+        Returns ``(promoted, rebuilt)`` vertex-id arrays.
+        """
+        dead = int(dead)
+        if not 0 <= dead < self.num_shards:
+            raise ValueError("dead shard out of range")
+        if self.num_shards < 2:
+            raise ValueError("cannot fail over the only shard")
+        survivors = [s for s in range(self.num_shards) if s != dead]
+        replicas = self.placement.replicas
+        promoted: list[int] = []
+        rebuilt: list[int] = []
+        for x in np.flatnonzero(self.assignment == dead).tolist():
+            extra = replicas.get(x)
+            if extra:
+                new_owner = min(extra)
+                rest = tuple(s for s in extra if s != new_owner)
+                if rest:
+                    replicas[x] = rest
+                else:
+                    del replicas[x]
+                promoted.append(x)
+            else:
+                new_owner = survivors[x % len(survivors)]
+                self._member[new_owner, x] = True
+                rebuilt.append(x)
+            self.assignment[x] = new_owner
+        # The dead shard's replica copies are lost with it.
+        for x, extra in list(replicas.items()):
+            if dead in extra:
+                rest = tuple(s for s in extra if s != dead)
+                if rest:
+                    replicas[x] = rest
+                else:
+                    del replicas[x]
+        self._member[dead, :] = False
+        return (np.asarray(promoted, dtype=np.int64),
+                np.asarray(rebuilt, dtype=np.int64))
 
     def split(self, batch: EdgeBatch,
               mailbox: CrossShardMailbox | None = None,

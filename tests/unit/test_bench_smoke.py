@@ -20,8 +20,8 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-# Seconds of wall clock the whole smoke harness (6 benches + interpreter
-# startup) may take.  Healthy runs finish in ~6 s; the budget leaves ~6x
+# Seconds of wall clock the whole smoke harness (7 benches + interpreter
+# startup) may take.  Healthy runs finish in ~7 s; the budget leaves ~5x
 # headroom for slow CI machines while still catching a per-event blowup.
 SMOKE_BUDGET_S = 40.0
 
@@ -38,16 +38,21 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
     elapsed = time.monotonic() - t0
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "6 passed" in proc.stdout
+    assert "7 passed" in proc.stdout
     assert "Serving scale" in proc.stdout
     assert "Placement x topology" in proc.stdout
     assert "Memory sync" in proc.stdout
     assert "Ingest x topology" in proc.stdout
     assert "Online rebalancing" in proc.stdout
+    assert "Failover" in proc.stdout
     assert "Event core" in proc.stdout
     # The perf-trajectory artifact CI diffs against its baseline.
     assert os.path.exists(os.path.join(
         str(tmp_path), "BENCH_events_per_sec.json"))
+    # The failover sweep leaves its own artifact; it has no
+    # ``speedup_ratio``, and check_perf_trajectory.py must tolerate it.
+    assert os.path.exists(os.path.join(
+        str(tmp_path), "BENCH_failover.json"))
     assert elapsed < SMOKE_BUDGET_S, (
         f"--smoke took {elapsed:.1f} s (budget {SMOKE_BUDGET_S:.0f} s): "
         f"the event loop's per-event overhead has regressed")

@@ -277,6 +277,10 @@ class TestServeSimGolden:
         "serve_sim_rebalance_online.json": [
             "--speedup", "2000", "--rebalance-online",
             "--rebalance-threshold", "0.05"],
+        "serve_sim_failover.json": [
+            "--memsync", "push", "--placement", "replicate",
+            "--speedup", "2000", "--fail-at", "300", "--fail-shard", "1",
+            "--recover-at", "700"],
     }
 
     @pytest.mark.parametrize("golden,extra", sorted(CASES.items()))

@@ -1,0 +1,653 @@
+"""Failure injection and exact replica failover (ISSUE 7).
+
+Five contracts pin the subsystem:
+
+* **Scheduler cancellation** — :meth:`EventScheduler.cancel` raises on a
+  run-scheduled token instead of silently firing the event anyway (the
+  bug this PR fixes), both schedulers drop dead entries when they drain,
+  and cancellation parity against :class:`HeapEventScheduler` is
+  property-tested over randomized programs.
+* **Fail-stop semantics** — a dead :class:`ServerGroup` drops queued and
+  newly offered jobs *with accounting* (served + dropped == offered), a
+  slow one multiplies its service times; conservation holds through the
+  outage on the full event loop.
+* **Exact failover** — :meth:`ShardRouter.fail_over` promotes replica
+  mirrors to owners and rebuilds the rest;
+  :meth:`ShardedRuntime.fail_shard` + :meth:`recover_shard` produce
+  held-vertex memory tables bit-identical to the unsharded runtime after
+  recovery — the headline acceptance.
+* **Exactly-once ownership** — the promote / rebuild / fail-back
+  :class:`MigrationEvent` chain in the trace is linearizable, exactly
+  like the rebalancer's.
+* **Stationarity** — a run whose chaos schedule never bites is
+  byte-identical to the plain engine (the chaos keys aside), so the
+  PR 3-6 golden reports stay pinned.
+
+``REPRO_CHAOS_SEED`` (CI runs a small matrix) varies the workload seed
+and the victim shard in the engine-level chaos tests.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.datasets import wikipedia_like
+from repro.graph import iter_fixed_size
+from repro.pipeline import LinearCostBackend
+from repro.serving import (HANDOFF_ROWS_PER_VERTEX, EventScheduler,
+                           FailureInjector, FailurePlan, HeapEventScheduler,
+                           MigrationEvent, OnlineRebalancer, Placement,
+                           ReplicatedReadMostly, ServerGroup,
+                           ServiceBeginEvent, ServiceEndEvent, ServingEngine,
+                           ShardRouter, ShardedRuntime, VersionedMemoryCache,
+                           VertexHeat, hash_assignment, make_stream_arrivals,
+                           replica_shards_from_traffic)
+from tests.unit.test_rebalance import (assert_held_state_bit_identical,
+                                       drifting_graph, setup_model,
+                                       unsharded_reference)
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+# --------------------------------------------------------------------------- #
+class TestFailurePlanValidation:
+    def test_mode_must_be_known(self):
+        with pytest.raises(ValueError, match="mode"):
+            FailurePlan(fail_at=1.0, shard=0, mode="flaky")
+
+    def test_shard_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            FailurePlan(fail_at=1.0, shard=-1)
+
+    def test_fail_time_must_be_finite(self):
+        with pytest.raises(ValueError):
+            FailurePlan(fail_at=float("inf"), shard=0)
+
+    def test_recovery_must_follow_failure(self):
+        with pytest.raises(ValueError):
+            FailurePlan(fail_at=2.0, shard=0, recover_at=2.0)
+
+    def test_slow_needs_real_degradation(self):
+        with pytest.raises(ValueError):
+            FailurePlan(fail_at=1.0, shard=0, mode="slow", degradation=1.0)
+        FailurePlan(fail_at=1.0, shard=0, mode="slow", degradation=1.5)
+
+    def test_injector_needs_plans(self):
+        with pytest.raises(ValueError):
+            FailureInjector([])
+        with pytest.raises(TypeError):
+            FailureInjector([object()])
+
+    def test_injector_chaos_tag(self):
+        one = FailureInjector(FailurePlan(fail_at=1.0, shard=0))
+        assert one.chaos == "dead"
+        mixed = FailureInjector([
+            FailurePlan(fail_at=1.0, shard=0),
+            FailurePlan(fail_at=2.0, shard=1, mode="slow")])
+        assert mixed.chaos == "mixed"
+
+    def test_bind_validates_fleet(self):
+        inj = FailureInjector(FailurePlan(fail_at=1.0, shard=3))
+        sched = EventScheduler()
+        groups = [ServerGroup(i, 1, lambda p: 1.0, sched) for i in range(2)]
+        with pytest.raises(ValueError, match="out of range"):
+            inj.bind(sched, groups, ShardRouter(2, 8))
+        lone = FailureInjector(FailurePlan(fail_at=1.0, shard=0))
+        with pytest.raises(ValueError, match="survivor"):
+            lone.bind(sched, groups[:1], ShardRouter(2, 8))
+
+
+# --------------------------------------------------------------------------- #
+class TestSchedulerCancel:
+    """Satellite: run-token cancel raises; dead sets drain; heap parity."""
+
+    def test_run_token_cancel_raises(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(0.0, 0, "point", fired.append)     # token 0
+        ts = np.array([1.0, 2.0, 3.0])
+
+        def cohort(t0, payloads, start, stop):
+            fired.extend(payloads[start:stop])
+            return stop - start
+
+        sched.schedule_run(ts, 0, ["a", "b", "c"], cohort)  # tokens 1..3
+        for token in (1, 2, 3):
+            with pytest.raises(ValueError, match="run"):
+                sched.cancel(token)
+        # The refusal is a no-op: nothing was marked dead, all fire.
+        sched.cancel(0)
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("cls", [HeapEventScheduler, EventScheduler])
+    def test_dead_set_drains(self, cls):
+        sched = cls()
+        tokens = []
+
+        def on_fire(_ev):
+            # Cancelling an already-fired token never meets the pop-time
+            # discard; the drain sweep must still clear it.
+            sched.cancel(tokens[0])
+
+        tokens.append(sched.schedule(1.0, 0, None, on_fire))
+        sched.run()
+        assert sched._dead == set()
+
+    def _program(self, rng):
+        """Points and runs with integer-grid ties (see test_events)."""
+        ops, tag = [], 0
+        for _ in range(int(rng.integers(3, 9))):
+            base = float(rng.integers(0, 6))
+            prio = int(rng.integers(0, 3))
+            if rng.random() < 0.5:
+                ops.append(("point", base, prio, tag))
+                tag += 1
+            else:
+                n = int(rng.integers(1, 10))
+                ts = base + np.cumsum(
+                    rng.integers(0, 2, size=n).astype(np.float64))
+                ops.append(("run", ts, prio, list(range(tag, tag + n))))
+                tag += n
+        return ops
+
+    def _drive(self, sched, ops, cancels, vectorized):
+        fired = []
+
+        def on_point(ev):
+            fired.append(ev)
+
+        def on_cohort(t0, payloads, start, stop):
+            fired.extend(payloads[start:stop])
+            return stop - start
+
+        # Identical schedule-call order makes the token streams line up:
+        # schedule_run consumes one seq per element, exactly like the heap
+        # lane's element-by-element expansion.
+        point_tokens = {}
+        for op in ops:
+            if op[0] == "point":
+                _, t, prio, tag = op
+                point_tokens[tag] = sched.schedule(t, prio, (t, prio, tag),
+                                                   on_point)
+            elif vectorized:
+                _, ts, prio, tags = op
+                payloads = [(float(t), prio, g) for t, g in zip(ts, tags)]
+                sched.schedule_run(ts, prio, payloads, on_cohort)
+            else:
+                _, ts, prio, tags = op
+                for t, g in zip(ts, tags):
+                    sched.schedule(float(t), prio, (float(t), prio, g),
+                                   on_point)
+        for tag in cancels:
+            sched.cancel(point_tokens[tag])
+        sched.run()
+        return fired
+
+    def test_cancel_parity_with_heap_oracle(self):
+        for trial in range(40):
+            rng = np.random.default_rng(9300 + trial)
+            ops = self._program(rng)
+            point_tags = [op[3] for op in ops if op[0] == "point"]
+            cancels = [g for g in point_tags if rng.random() < 0.5]
+            heap = HeapEventScheduler()
+            vec = EventScheduler()
+            heap_fired = self._drive(heap, ops, cancels, vectorized=False)
+            vec_fired = self._drive(vec, ops, cancels, vectorized=True)
+            assert vec_fired == heap_fired
+            assert not any(ev[2] in cancels for ev in vec_fired)
+            assert vec.events_processed == heap.events_processed
+            assert heap._dead == set() and vec._dead == set()
+
+
+# --------------------------------------------------------------------------- #
+class TestServerGroupFailure:
+    def _drain(self, sched):
+        sched.run()
+
+    def test_slow_failure_scales_service_times(self):
+        sched = EventScheduler()
+        group = ServerGroup(0, 1, lambda p: 1.0, sched)
+        group.submit(0.0, "before")
+        group.service_factor = 4.0
+        group.submit(0.0, "during")
+        self._drain(sched)
+        res = group.finalize()
+        assert [j.service_s for j in res.served] == [1.0, 4.0]
+
+    def test_dead_group_drops_with_accounting(self):
+        sched = EventScheduler()
+        group = ServerGroup(0, 1, lambda p: 1.0, sched)
+        group.submit(0.0, "served")     # in service immediately
+        group.submit(0.0, "queued")
+        dropped_now = group.fail()
+        assert dropped_now == 1         # the queued job
+        group.submit(0.5, "refused")    # offered to a dead shard
+        self._drain(sched)
+        res = group.finalize()
+        # Conservation: served + dropped == offered, in-service completes.
+        assert len(res.served) == 1 and res.served[0].index == 0
+        assert set(res.dropped_indices) == {1, 2}
+
+    def test_restore_resets_both_failure_modes(self):
+        sched = EventScheduler()
+        group = ServerGroup(0, 1, lambda p: 1.0, sched)
+        group.service_factor = 8.0
+        group.fail()
+        group.restore()
+        assert group.accepting and group.service_factor == 1.0
+        group.submit(0.0, "after")
+        self._drain(sched)
+        assert group.finalize().served[0].service_s == 1.0
+
+
+# --------------------------------------------------------------------------- #
+class TestRouterFailOver:
+    def _replicated_router(self):
+        assignment = np.array([0, 1, 1, 2, 0, 1], dtype=np.int64)
+        placement = Placement(assignment=assignment, num_shards=3,
+                              replicas={1: (0, 2), 2: (2,)},
+                              policy="replicate")
+        return ShardRouter.from_placement(placement)
+
+    def test_promotes_lowest_replica_and_rebuilds_rest(self):
+        router = self._replicated_router()
+        promoted, rebuilt = router.fail_over(1)
+        assert sorted(promoted.tolist()) == [1, 2]
+        assert rebuilt.tolist() == [5]
+        # Promotion: lowest surviving replica becomes owner, the rest of
+        # the set stays (vertex 1: owner 0, replica {2} remains).
+        assert router.assignment[1] == 0
+        assert router.placement.replicas[1] == (2,)
+        # A consumed set disappears (vertex 2 promoted its only copy).
+        assert router.assignment[2] == 2
+        assert 2 not in router.placement.replicas
+        # Rebuilt: deterministic survivor, membership moved.
+        assert router.assignment[5] == [0, 2][5 % 2]
+        assert not router._member[1].any()
+        assert (router.assignment != 1).all()
+
+    def test_dead_shard_leaves_every_replica_set(self):
+        assignment = np.zeros(4, dtype=np.int64)
+        placement = Placement(assignment=assignment, num_shards=3,
+                              replicas={0: (1, 2), 3: (1,)},
+                              policy="replicate")
+        router = ShardRouter.from_placement(placement)
+        promoted, rebuilt = router.fail_over(1)
+        assert len(promoted) == 0 and len(rebuilt) == 0
+        assert router.placement.replicas == {0: (2,)}
+        assert not router._member[1].any()
+
+    def test_fail_over_validation(self):
+        with pytest.raises(ValueError, match="only shard"):
+            ShardRouter(1, 4).fail_over(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, 4).fail_over(2)
+
+
+class TestCacheFailOver:
+    def _cache(self, replicas=None):
+        assignment = np.array([0, 1, 1, 0], dtype=np.int64)
+        placement = Placement(assignment=assignment, num_shards=2,
+                              replicas=replicas or {}, policy="hash")
+        return VersionedMemoryCache(placement, policy="push")
+
+    def test_dead_row_is_scrubbed_and_rebuilt_owner_is_current(self):
+        cache = self._cache()
+        cache.note_writes(np.array([1, 2]), range(2))
+        cache.fail_over(1, np.array([1, 2]), np.array([0, 0]))
+        assert not cache._holder[1].any() and not cache._mirror[1].any()
+        assert (cache.mirror_version[1] == 0).all()
+        assert cache._holder[0, [1, 2]].all()
+        assert (cache.mirror_version[0, [1, 2]] ==
+                cache.version[[1, 2]]).all()
+
+    def test_keep_holder_demotes_into_replica_set(self):
+        cache = self._cache()
+        v = np.array([1, 2])
+        cache.transfer_ownership(v, np.array([1, 1]), 0,
+                                 keep_holder=np.array([True, False]))
+        # Kept old owner stays a holder; dropped one ages as a mirror.
+        assert cache._holder[1, 1] and not cache._mirror[1, 1]
+        assert not cache._holder[1, 2] and cache._mirror[1, 2]
+        assert cache._holder[0, v].all()
+
+
+# --------------------------------------------------------------------------- #
+def bipartite_placement(g, num_users, item_shard, user_shards):
+    """Users spread over ``user_shards``, every item on ``item_shard``:
+    each edge crosses shards, so under ``push`` every written item keeps a
+    current mirror on a user shard — the workload shape where rebuild can
+    certify ``cold == 0``."""
+    ids = np.arange(g.num_nodes)
+    user_shards = np.asarray(user_shards, dtype=np.int64)
+    assignment = np.where(ids < num_users,
+                          user_shards[ids % len(user_shards)],
+                          item_shard).astype(np.int64)
+    num_shards = max(item_shard, *user_shards) + 1
+    return Placement(assignment=assignment, num_shards=num_shards,
+                     policy="hash")
+
+
+class TestShardedRuntimeFailover:
+    """The headline acceptance: failover loses nothing, bit-for-bit."""
+
+    def test_promotion_failover_is_bit_identical(self):
+        """Every dead-owned vertex has a full replica: failover is pure
+        promotion (zero state moved), and the post-recovery run matches
+        the unsharded runtime exactly."""
+        g, model = setup_model()
+        rt, _ = unsharded_reference(model, g)
+        assignment = hash_assignment(g.num_nodes, 2)
+        replicated = [int(v) for v in np.flatnonzero(assignment == 1)]
+        placement = Placement(assignment=assignment, num_shards=2,
+                              replicas={v: (0,) for v in replicated},
+                              policy="replicate")
+        srt = ShardedRuntime(model, g, placement=placement, policy="push")
+        with no_grad():
+            for i, batch in enumerate(iter_fixed_size(g, 50)):
+                if i == 4:
+                    info = srt.fail_shard(1)
+                    assert info["rebuilt"] == 0 and info["cold"] == 0
+                    assert info["promoted"] == len(replicated)
+                    assert len(srt.held_vertices(1)) == 0
+                if i == 8:
+                    assert srt.recover_shard(1) == len(replicated)
+                    assert (srt.router.assignment[replicated] == 1).all()
+                srt.process_batch(batch)
+        assert_held_state_bit_identical(srt, rt)
+
+    def test_rebuild_failover_is_bit_identical(self):
+        """No replicas at all: every lost vertex is rebuilt from peers
+        (memory rows from the lowest current mirror, FIFO ring replayed
+        from the durable edge log) — still bit-identical once recovered,
+        and nothing was cold."""
+        g, model = setup_model()
+        rt, _ = unsharded_reference(model, g)
+        placement = bipartite_placement(g, 80, item_shard=1,
+                                        user_shards=[0])
+        srt = ShardedRuntime(model, g, placement=placement, policy="push")
+        with no_grad():
+            for i, batch in enumerate(iter_fixed_size(g, 50)):
+                if i == 6:
+                    owned = np.flatnonzero(srt.router.assignment == 1)
+                    info = srt.fail_shard(1)
+                    assert info["promoted"] == 0
+                    assert info["rebuilt"] == len(owned)
+                    # The certificate the exactness below relies on: every
+                    # written vertex had a surviving current copy.
+                    assert info["cold"] == 0
+                    assert info["rows"] > 0
+                if i == 9:
+                    srt.recover_shard(1)
+                srt.process_batch(batch)
+        assert_held_state_bit_identical(srt, rt)
+
+    def test_unrecovered_failover_is_bit_identical(self):
+        """Exactness does not wait for recovery: the promoted/rebuilt
+        owners serve exact rows for the rest of the run."""
+        g, model = setup_model()
+        rt, _ = unsharded_reference(model, g)
+        placement = bipartite_placement(g, 80, item_shard=2,
+                                        user_shards=[0, 1])
+        srt = ShardedRuntime(model, g, placement=placement, policy="push")
+        with no_grad():
+            for i, batch in enumerate(iter_fixed_size(g, 50)):
+                if i == 6:
+                    info = srt.fail_shard(2)
+                    assert info["cold"] == 0
+                srt.process_batch(batch)
+        assert len(srt.held_vertices(2)) == 0
+        assert_held_state_bit_identical(srt, rt)
+
+    def test_double_failure_and_bad_recovery_raise(self):
+        g, model = setup_model()
+        srt = ShardedRuntime(model, g, num_shards=2, policy="push")
+        srt.fail_shard(1)
+        with pytest.raises(ValueError, match="already failed"):
+            srt.fail_shard(1)
+        with pytest.raises(ValueError, match="not failed"):
+            srt.recover_shard(0)
+
+    def test_rebuild_prices_handoff_rows_in_mailbox(self):
+        g, model = setup_model()
+        placement = bipartite_placement(g, 80, item_shard=1,
+                                        user_shards=[0])
+        srt = ShardedRuntime(model, g, placement=placement, policy="push")
+        with no_grad():
+            for i, batch in enumerate(iter_fixed_size(g, 50)):
+                srt.process_batch(batch)
+                if i == 5:
+                    break
+        owned = np.flatnonzero(srt.router.assignment == 1)
+        # Never-written vertices rebuild as zero-init for free; every
+        # written one costs the fixed per-vertex handoff.
+        warm = int((srt.cache.version[owned] > 0).sum())
+        before = srt.mailbox.total_sync_rows
+        info = srt.fail_shard(1)
+        assert srt.mailbox.total_sync_rows - before == info["rows"]
+        assert info["cold"] == 0
+        assert info["rows"] == HANDOFF_ROWS_PER_VERTEX * warm > 0
+
+
+# --------------------------------------------------------------------------- #
+def run_chaos(g, plans, shards=4, window_s=250.0, speedup=2400.0,
+              streams=2, queue_capacity=None, memsync="push"):
+    engine = ServingEngine(
+        [LinearCostBackend(per_edge_s=6e-3) for _ in range(shards)],
+        g.num_nodes, memsync=memsync, failures=plans)
+    initial = engine.router.assignment.copy()
+    arrivals = make_stream_arrivals(g, window_s, num_streams=streams,
+                                    speedup=speedup)
+    rep = engine._run_events(arrivals, window_s, speedup, streams,
+                             queue_capacity, "serial", trace=True)
+    return engine, initial, arrivals, rep
+
+
+class TestEngineChaosInvariants:
+    """Conservation + exactly-once ownership on the full event loop."""
+
+    SHARDS = 4
+
+    def _plan(self, fail_at=0.4, recover_at=0.9, mode="dead"):
+        return FailurePlan(fail_at=fail_at, shard=CHAOS_SEED % self.SHARDS,
+                           mode=mode, recover_at=recover_at)
+
+    def test_ownership_chain_through_promotion(self):
+        g = drifting_graph(seed=5 + CHAOS_SEED)
+        engine, initial, _, rep = run_chaos(g, self._plan(),
+                                            shards=self.SHARDS)
+        assert rep.chaos == "dead"
+        assert rep.failures == 1 and rep.recoveries == 1
+        trace = engine.last_event_trace
+        moves = [e for e in trace if isinstance(e, MigrationEvent)]
+        assert {e.reason for e in moves} <= {"promote", "rebuild",
+                                             "fail-back"}
+        assert rep.rebuilt_vertices > 0
+        assert rep.recovery_rows > 0
+        # Replay the log: each handoff consumes the previous owner, so no
+        # vertex is ever owned by two shards — across the failover too.
+        owner = initial.copy()
+        for ev in moves:
+            assert owner[ev.vertex] == ev.from_shard
+            assert ev.from_shard != ev.to_shard
+            expected = 0 if ev.reason == "promote" \
+                else HANDOFF_ROWS_PER_VERTEX
+            assert ev.rows == expected
+            owner[ev.vertex] = ev.to_shard
+        assert np.array_equal(owner, engine.router.assignment)
+        assert (engine.router._member.sum(axis=0) >= 1).all()
+        ts = [e.t for e in trace]
+        assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def test_no_lost_or_duplicated_jobs_across_failover(self):
+        g = drifting_graph(seed=5 + CHAOS_SEED)
+        engine, _, arrivals, rep = run_chaos(g, self._plan(),
+                                             shards=self.SHARDS)
+        # Window conservation: every offered window is served or dropped.
+        assert rep.windows + rep.dropped_windows == len(arrivals)
+        trace = engine.last_event_trace
+        begins = [e for e in trace if isinstance(e, ServiceBeginEvent)]
+        ends = [e for e in trace if isinstance(e, ServiceEndEvent)]
+        assert len(begins) == len(ends)
+        assert len({(e.group, e.index) for e in begins}) == len(begins)
+        assert len({(e.group, e.index) for e in ends}) == len(ends)
+        spans = {}
+        for b in begins:
+            spans[(b.group, b.index)] = [b.t, None]
+        for e in ends:
+            spans[(e.group, e.index)][1] = e.t
+        by_server = {}
+        for b in begins:
+            by_server.setdefault((b.group, b.server), []).append(
+                spans[(b.group, b.index)])
+        for intervals in by_server.values():
+            intervals.sort()
+            for (b0, e0), (b1, _) in zip(intervals, intervals[1:]):
+                assert e0 is not None and b1 >= e0 - 1e-12
+
+    def test_outage_window_is_reported(self):
+        g = drifting_graph(seed=5 + CHAOS_SEED)
+        _, _, _, rep = run_chaos(g, self._plan(fail_at=0.2, recover_at=0.8),
+                                 shards=self.SHARDS)
+        assert rep.outage_windows > 0
+        assert rep.outage_p99_response_s > 0.0
+        d = rep.to_dict()
+        assert d["chaos"] == "dead" and d["outage_windows"] > 0
+
+    def test_slow_mode_degrades_then_restores(self):
+        g = drifting_graph(seed=5 + CHAOS_SEED)
+        plan = self._plan(mode="slow")
+        _, _, _, slow = run_chaos(g, plan, shards=self.SHARDS)
+        _, _, _, base = run_chaos(
+            g, self._plan(mode="slow", fail_at=1e9, recover_at=2e9),
+            shards=self.SHARDS)
+        assert slow.chaos == "slow"
+        assert slow.promoted_vertices == slow.rebuilt_vertices == 0
+        victim = plan.shard
+        assert slow.shard_stats[victim].busy_s > \
+            base.shard_stats[victim].busy_s
+
+    def test_no_bite_chaos_is_identical_to_plain_engine(self):
+        """A schedule that never bites (fires after the horizon) leaves
+        every statistic byte-identical to the plain engine — chaos keys
+        aside — so the PR 3-6 goldens stay pinned."""
+        g = wikipedia_like(num_edges=600, num_users=80, num_items=20)
+
+        def run(failures):
+            engine = ServingEngine(
+                [LinearCostBackend(per_edge_s=1e-3) for _ in range(4)],
+                g.num_nodes, memsync="push", failures=failures)
+            return engine.run(g, window_s=3600.0, speedup=2.0,
+                              num_streams=2)
+
+        base = run(None)
+        late = run(FailurePlan(fail_at=1e9, shard=1, recover_at=1e9 + 1.0))
+        assert late.failures == 1 and late.recoveries == 1
+        d_base, d_late = base.to_dict(), late.to_dict()
+        assert "chaos" not in d_base
+        for key in ("chaos", "failures", "recoveries", "promoted_vertices",
+                    "rebuilt_vertices", "recovery_rows", "outage_windows",
+                    "outage_p99_response_s"):
+            d_late.pop(key)
+        assert d_late == d_base
+
+    def test_pool_topology_rejects_failures(self):
+        g = wikipedia_like(num_edges=100, num_users=20, num_items=5)
+        with pytest.raises(ValueError, match="pool"):
+            ServingEngine([LinearCostBackend()], g.num_nodes,
+                          topology="pool",
+                          failures=FailurePlan(fail_at=1.0, shard=0))
+
+    def test_rebalancer_and_failures_are_mutually_exclusive(self):
+        g = wikipedia_like(num_edges=100, num_users=20, num_items=5)
+        with pytest.raises(ValueError, match="together"):
+            ServingEngine(
+                [LinearCostBackend() for _ in range(2)], g.num_nodes,
+                rebalancer=OnlineRebalancer(window_s=1.0),
+                failures=FailurePlan(fail_at=1.0, shard=0))
+
+    def test_recovery_rows_priced_across_dies(self):
+        """Recovery traffic crossing a die boundary inflates the new
+        owner's busy time — failover is never free on a multi-die part."""
+        g = drifting_graph(seed=5 + CHAOS_SEED)
+
+        def run(mail_hop_s):
+            engine = ServingEngine(
+                [LinearCostBackend(per_edge_s=6e-3) for _ in range(4)],
+                g.num_nodes, memsync="push", die_of=[0, 1, 0, 1],
+                mail_hop_s=mail_hop_s, failures=self._plan())
+            return engine.run(g, window_s=250.0, speedup=2400.0,
+                              num_streams=2)
+
+        free = run(0.0)
+        priced = run(5e-4)
+        assert priced.recovery_rows == free.recovery_rows > 0
+        assert sum(s.busy_s for s in priced.shard_stats) > \
+            sum(s.busy_s for s in free.shard_stats)
+
+
+# --------------------------------------------------------------------------- #
+class TestProfileDrivenReplicas:
+    """Satellite: replica sets chosen from the measured traffic matrix,
+    cooled vertices de-replicated on refresh."""
+
+    def test_traffic_ranking_is_deterministic(self):
+        traffic = np.array([[0, 5, 9, 5],
+                            [1, 0, 2, 3],
+                            [4, 4, 0, 4],
+                            [7, 1, 2, 0]])
+        assert replica_shards_from_traffic(traffic, 0, 2) == (2, 1)
+        assert replica_shards_from_traffic(traffic, 0, 3) == (2, 1, 3)
+        # Ties break by shard id ascending; zero n_extra picks nothing.
+        assert replica_shards_from_traffic(traffic, 2, 2) == (0, 1)
+        assert replica_shards_from_traffic(traffic, 0, 0) == ()
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            replica_shards_from_traffic(np.zeros((2, 3)), 0, 1)
+        with pytest.raises(ValueError, match="owner"):
+            replica_shards_from_traffic(np.zeros((2, 2)), 2, 1)
+
+    def test_place_uses_measured_traffic(self):
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=16)
+        heat = VertexHeat.from_graph(g)
+        policy = ReplicatedReadMostly(top_k=4, copies=2)
+        traffic = np.array([[0, 1, 9],
+                            [9, 0, 1],
+                            [1, 9, 0]])
+        placed = policy.place(heat, 3, traffic=traffic)
+        assert placed.replicated_vertices > 0
+        for v, extra in placed.replicas.items():
+            owner = int(placed.assignment[v])
+            assert extra == replica_shards_from_traffic(traffic, owner, 1)
+
+    def test_refresh_de_replicates_cooled_vertices(self):
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=16)
+        heat = VertexHeat.from_graph(g)
+        policy = ReplicatedReadMostly(top_k=4)
+        placed = policy.place(heat, 2)
+        assert placed.replicated_vertices == 4
+        # The measured second-epoch heat: everything cooled except the
+        # single hottest vertex, which keeps its copies.
+        hot = max(placed.replicas, key=lambda v: heat.dst_count[v])
+        cold_src = np.zeros_like(heat.src_count)
+        cold_dst = np.zeros_like(heat.dst_count)
+        cold_dst[hot] = 10
+        refreshed = policy.refresh(
+            placed, VertexHeat(src_count=cold_src, dst_count=cold_dst))
+        assert list(refreshed.replicas) == [hot]
+        assert np.array_equal(refreshed.assignment, placed.assignment)
+        # The input placement was not mutated.
+        assert placed.replicated_vertices == 4
+
+    def test_refresh_validates_vertex_count(self):
+        g = wikipedia_like(num_edges=400, num_users=60, num_items=16)
+        heat = VertexHeat.from_graph(g)
+        policy = ReplicatedReadMostly(top_k=4)
+        placed = policy.place(heat, 2)
+        bad = VertexHeat(src_count=np.zeros(3), dst_count=np.zeros(3))
+        with pytest.raises(ValueError, match="vertex count"):
+            policy.refresh(placed, bad)

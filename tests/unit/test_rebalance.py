@@ -121,12 +121,32 @@ class TestRouterMigrate:
         # Exactly one owner per vertex, before and after.
         assert (router._member.sum(axis=0) == 1).all()
 
-    def test_replicated_vertex_refused(self):
+    def test_replicated_vertex_demotes_old_owner(self):
+        """Migrating a replicated vertex re-points ownership and demotes
+        the old owner into the replica set — copies are never orphaned
+        and the owner/replica invariant holds throughout."""
         placement = Placement(assignment=np.array([0, 0, 1, 1]),
-                              num_shards=2, replicas={0: (1,)})
+                              num_shards=3, replicas={0: (1, 2)})
         router = ShardRouter.from_placement(placement)
-        with pytest.raises(ValueError, match="replicated"):
-            router.migrate([0], 1)
+        old = router.migrate([0], 1)        # target was itself a replica
+        assert old[0] == 0
+        assert router.assignment[0] == 1
+        # New owner promoted out of the set, old owner demoted into it.
+        assert set(placement.replicas[0]) == {0, 2}
+        # Every previous holder still holds the vertex.
+        assert router._member[:, 0].all()
+        # The mutated placement still satisfies its own invariants.
+        Placement(assignment=router.assignment, num_shards=3,
+                  replicas=dict(placement.replicas))
+
+    def test_replicated_vertex_to_non_replica_shard(self):
+        placement = Placement(assignment=np.array([0, 0, 1, 1]),
+                              num_shards=3, replicas={0: (1,)})
+        router = ShardRouter.from_placement(placement)
+        router.migrate([0], 2)              # target held nothing before
+        assert router.assignment[0] == 2
+        assert set(placement.replicas[0]) == {0, 1}
+        assert router._member[:, 0].all()
 
     def test_range_validation(self):
         router = ShardRouter(2, 8)
@@ -287,22 +307,15 @@ class TestMigrationExactness:
         assert srt.mailbox.total_sync_rows == 0
 
     def test_migrate_refusal_is_atomic(self):
-        """A refused migration (replicated vertex, bad target) must not
-        leave partially-copied state or phantom sync accounting behind."""
+        """A refused migration (bad target, bad vertex) must not leave
+        partially-copied state or phantom sync accounting behind."""
         g, model = setup_model()
-        heat = VertexHeat.from_graph(g)
-        placement = ReplicatedReadMostly(top_k=2).place(heat, 2)
-        replicated = next(iter(placement.replicas))
-        srt = ShardedRuntime(model, g, placement=placement, policy="push")
+        srt = ShardedRuntime(model, g, num_shards=2, policy="push")
         with no_grad():
             for b in iter_fixed_size(g, 100):
                 srt.process_batch(b)
-        owner = int(srt.router.assignment[replicated])
-        target = 1 - owner
         snapshots = [rt.state.snapshot() for rt in srt.runtimes]
         rows_before = srt.mailbox.total_sync_rows
-        with pytest.raises(ValueError, match="replicated"):
-            srt.migrate([replicated], target)
         with pytest.raises(ValueError, match="to_shard"):
             srt.migrate([0], -1)
         with pytest.raises(ValueError, match="vertex"):
@@ -311,6 +324,30 @@ class TestMigrationExactness:
         for rt, snap in zip(srt.runtimes, snapshots):
             assert np.array_equal(rt.state.memory, snap["memory"])
             assert np.array_equal(rt.state.mailbox, snap["mailbox"])
+
+    def test_migrate_replicated_vertex_stays_exact(self):
+        """Replicated vertices migrate too (the PR 7 lift): ownership
+        re-points, the old owner demotes into the replica set, and the
+        push-policy replay stays bit-identical to the unsharded runtime."""
+        g, model = setup_model()
+        heat = VertexHeat.from_graph(g)
+        placement = ReplicatedReadMostly(top_k=2).place(heat, 2)
+        replicated = sorted(placement.replicas)
+        assert replicated
+        rt, _ = unsharded_reference(model, g)
+        srt = ShardedRuntime(model, g, placement=placement, policy="push")
+        moved = False
+        with no_grad():
+            for i, batch in enumerate(iter_fixed_size(g, 50)):
+                if i == 4:
+                    v = replicated[0]
+                    target = 1 - int(srt.router.assignment[v])
+                    assert srt.migrate([v], target) == 1
+                    assert int(srt.router.assignment[v]) == target
+                    moved = True
+                srt.process_batch(batch)
+        assert moved
+        assert_held_state_bit_identical(srt, rt)
 
 
 # --------------------------------------------------------------------------- #
