@@ -813,3 +813,50 @@ def test_event_core_speedup(capsys, smoke):
                      "pool_servers": 2, "reps": reps,
                      "mode": "smoke" if smoke else "full"},
     })
+
+
+# --------------------------------------------------------------------------- #
+def test_trace_invariants(capsys, smoke):
+    """Trace-checker gate (ISSUE 8): full serve-sim runs replay clean.
+
+    Drives ``serve-sim --check-trace`` (the repro.analysis.tracecheck
+    dynamic half) over the two behavior-rich lanes — online rebalancing
+    under drift, and dead-shard failure injection with recovery — and
+    asserts both replays produce zero invariant findings: causality,
+    exactly-once service, busy-interval disjointness, mail-at-flush,
+    ownership chain, and window conservation.
+    """
+    from repro.cli import main as cli_main
+
+    edges = 400 if smoke else 1600
+    base = ["serve-sim", "--edges", str(edges), "--shards", "2",
+            "--streams", "2", "--speedup", "40", "--memory-dim", "16",
+            "--check-trace"]
+    lanes = {
+        "rebalance-online": base + ["--rebalance-online",
+                                    "--rebalance-threshold", "0.05"],
+        "chaos-failover": base + ["--fail-at", "10000",
+                                  "--recover-at", "30000"],
+    }
+    rows = []
+    for name, argv in lanes.items():
+        lines = []
+        rc = cli_main(argv, out=lines.append)
+        text = "\n".join(lines)
+        assert rc == 0, f"{name}: exit {rc}\n{text}"
+        verdict = [ln for ln in lines if ln.startswith("trace check:")]
+        assert verdict and "clean" in verdict[0], f"{name}:\n{text}"
+        # "trace check: clean (N events, M checks)"
+        inner = verdict[0].split("(", 1)[1].rstrip(")")
+        n_events, n_checks = (int(p.split()[0])
+                              for p in inner.split(","))
+        assert n_events > 0 and n_checks >= 6
+        rows.append({"lane": name, "events": n_events,
+                     "checks": n_checks, "verdict": "clean"})
+    table = render_table(
+        rows, precision=3,
+        title=f"Trace invariants — serve-sim --check-trace "
+              f"({'smoke' if smoke else 'full'})")
+    with capsys.disabled():
+        print(table)
+    save_result("trace_invariants", table)

@@ -12,4 +12,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
+    entry_points={
+        "console_scripts": [
+            # Determinism & invariant linter (src/repro/analysis/);
+            # stdlib-only, also runnable as `python -m repro.analysis`.
+            "repro-lint=repro.analysis.cli:main",
+        ],
+    },
 )

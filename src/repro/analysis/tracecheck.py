@@ -1,0 +1,388 @@
+"""Dynamic event-trace checker for the serving event core.
+
+The unit suites (tests/unit/test_events.py, test_rebalance.py,
+test_failover.py) grew a family of ad-hoc invariant asserts over
+``EventScheduler`` traces: timestamps are monotone, every admitted job is
+serviced exactly once, per-server busy intervals never overlap, the
+migration log replays to exactly-once ownership, offered windows are
+conserved, and the heap and vectorized scheduler lanes agree on the order
+of equal-``(t, priority)`` events.  This module generalizes them into one
+reusable checker that replays a recorded trace and returns a findings
+report, so the same invariants run inside the bench smoke, behind
+``serve-sim --check-trace``, and against any future actor.
+
+Checks (finding ``check`` values)
+---------------------------------
+``causality``             an event recorded before one already fired —
+                          a handler scheduled into the past.
+``exactly-once-service``  duplicate/missing ServiceBegin-ServiceEnd
+                          pairing for a ``(group, index)`` job.
+``busy-overlap``          two service spans overlap on one server.
+``mail-at-flush``         mail/sync recorded away from a release instant.
+``ownership-chain``       a MigrationEvent whose ``from_shard`` is not
+                          the current owner (double-ownership), a
+                          self-migration, or a final assignment the
+                          replayed log does not land on.
+``conservation``          offered windows != served + dropped (report)
+                          or != flushed (trace).
+``same-key-order``        heap and vectorized lanes disagree on the
+                          relative order of equal-timestamp events.
+``lane-divergence``       the lanes disagree outright (different event
+                          at different times, or different counts).
+
+The checker matches events by type *name*, not class identity, so it
+stays stdlib-only (importable without numpy) and works with any
+duck-typed trace a test fabricates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["TraceFinding", "TraceCheckReport", "check_causality",
+           "check_service_exactly_once", "check_mail_at_flush",
+           "check_ownership_chain", "check_conservation",
+           "check_lane_agreement", "check_run"]
+
+# Service spans may abut exactly; anything closer than this is overlap.
+_OVERLAP_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class TraceFinding:
+    """One invariant violation at one instant of the replayed trace."""
+
+    check: str
+    t: float | None
+    detail: str
+
+    def render(self) -> str:
+        at = "" if self.t is None else f" @ t={self.t:.6g}"
+        return f"[{self.check}]{at} {self.detail}"
+
+
+@dataclass
+class TraceCheckReport:
+    """Outcome of a :func:`check_run` pass over one (or two) traces."""
+
+    findings: list[TraceFinding] = field(default_factory=list)
+    events: int = 0
+    checks: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.check] = out.get(f.check, 0) + 1
+        return out
+
+    def render(self) -> str:
+        if self.ok:
+            return (f"trace check: clean ({self.events} events, "
+                    f"{len(self.checks)} checks)")
+        lines = [f.render() for f in self.findings]
+        lines.append(f"trace check: {len(self.findings)} finding(s) over "
+                     f"{self.events} events")
+        return "\n".join(lines)
+
+
+def _kind(event: Any) -> str:
+    return type(event).__name__
+
+
+def _event_key(event: Any) -> tuple:
+    """Comparable identity of one event: type name + scalar fields.
+
+    Payload fields that are not scalars (an ArrivalEvent's batch holds
+    numpy arrays) are skipped — array equality is elementwise, and the
+    lanes share the batch objects anyway; the ordering contract is about
+    *which event fired when*, which the scalars pin down.
+    """
+    fields = getattr(event, "__dict__", None)
+    if fields is None:
+        return (_kind(event), float(event.t))
+    scalars = tuple(
+        (name, value) for name, value in sorted(fields.items())
+        if isinstance(value, (bool, int, float, str)))
+    return (_kind(event), scalars)
+
+
+# --------------------------------------------------------------------------- #
+def check_causality(trace: Sequence[Any]) -> list[TraceFinding]:
+    """Recorded event times never move backwards.
+
+    The scheduler raises on ``schedule(t < now)``; this is the trace-side
+    mirror — it also catches an actor that *records* a back-dated event
+    directly (``sched.record`` bypasses the heap).
+    """
+    findings = []
+    prev = float("-inf")
+    prev_kind = "start-of-trace"
+    for event in trace:
+        t = float(event.t)
+        if t < prev:
+            findings.append(TraceFinding(
+                "causality", t,
+                f"{_kind(event)} recorded at t={t:.6g} after "
+                f"{prev_kind} already fired at t={prev:.6g} "
+                f"(scheduled into the past)"))
+        else:
+            prev, prev_kind = t, _kind(event)
+    return findings
+
+
+def check_service_exactly_once(trace: Sequence[Any]) -> list[TraceFinding]:
+    """Begin/end pairing and per-server busy-interval disjointness.
+
+    Every ``(group, index)`` job begins exactly once and ends exactly
+    once, ends never precede their begin, and the service spans of one
+    ``(group, server)`` station never overlap — migrations and failovers
+    reroute *future* jobs; they may never duplicate or lose an admitted
+    one.
+    """
+    findings = []
+    begun: dict[tuple[int, int], Any] = {}
+    spans: dict[tuple[int, int], list[float]] = {}
+    ended: set[tuple[int, int]] = set()
+    for event in trace:
+        kind = _kind(event)
+        if kind == "ServiceBeginEvent":
+            key = (event.group, event.index)
+            if key in begun:
+                findings.append(TraceFinding(
+                    "exactly-once-service", float(event.t),
+                    f"job group={key[0]} index={key[1]} began twice "
+                    f"(first at t={float(begun[key].t):.6g})"))
+            else:
+                begun[key] = event
+                spans[key] = [float(event.t), float("nan")]
+        elif kind == "ServiceEndEvent":
+            key = (event.group, event.index)
+            if key in ended:
+                findings.append(TraceFinding(
+                    "exactly-once-service", float(event.t),
+                    f"job group={key[0]} index={key[1]} ended twice"))
+                continue
+            ended.add(key)
+            if key not in begun:
+                findings.append(TraceFinding(
+                    "exactly-once-service", float(event.t),
+                    f"job group={key[0]} index={key[1]} ended without "
+                    f"a ServiceBeginEvent"))
+            else:
+                spans[key][1] = float(event.t)
+                if spans[key][1] < spans[key][0]:
+                    findings.append(TraceFinding(
+                        "exactly-once-service", float(event.t),
+                        f"job group={key[0]} index={key[1]} ends at "
+                        f"t={spans[key][1]:.6g} before its begin at "
+                        f"t={spans[key][0]:.6g}"))
+    for key in sorted(begun):
+        if key not in ended:
+            findings.append(TraceFinding(
+                "exactly-once-service", float(begun[key].t),
+                f"job group={key[0]} index={key[1]} began but never "
+                f"ended (lost in service)"))
+    # Per-(group, server) stations: spans sorted by begin must be disjoint.
+    by_server: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for key, event in begun.items():        # insertion == trace order
+        b, e = spans[key]
+        if e == e:                          # paired (not NaN)
+            by_server.setdefault((event.group, event.server),
+                                 []).append((b, e))
+    for station in sorted(by_server):
+        intervals = sorted(by_server[station])
+        for (b0, e0), (b1, _) in zip(intervals, intervals[1:]):
+            if b1 < e0 - _OVERLAP_TOL:
+                findings.append(TraceFinding(
+                    "busy-overlap", b1,
+                    f"group={station[0]} server={station[1]} begins a "
+                    f"job at t={b1:.6g} while the previous one runs "
+                    f"until t={e0:.6g}"))
+    return findings
+
+
+def check_mail_at_flush(trace: Sequence[Any]) -> list[TraceFinding]:
+    """Mail and sync rows are recorded at a job release instant.
+
+    The router forks a job the moment the batcher releases it; mail and
+    sync events time-stamped away from any flush mean traffic was
+    recorded outside the release path (e.g. back-dated by a handler).
+    """
+    flush_ts = {float(e.t) for e in trace if _kind(e) == "FlushEvent"}
+    findings = []
+    for event in trace:
+        if _kind(event) in ("MailEvent", "SyncEvent") \
+                and float(event.t) not in flush_ts:
+            findings.append(TraceFinding(
+                "mail-at-flush", float(event.t),
+                f"{_kind(event)} at t={float(event.t):.6g} matches no "
+                f"FlushEvent instant"))
+    return findings
+
+
+def check_ownership_chain(trace: Sequence[Any],
+                          initial_assignment: Sequence[int],
+                          final_assignment: Sequence[int] | None = None,
+                          ) -> list[TraceFinding]:
+    """Replay the migration log: ownership moves exactly-once.
+
+    Each ``MigrationEvent`` must consume the current owner — a vertex can
+    never be owned by two shards, because every handoff names the owner
+    it takes from.  When ``final_assignment`` is given the replay must
+    land exactly on it (the live router agrees with its own log).
+    """
+    findings = []
+    owner = [int(s) for s in initial_assignment]
+    for event in trace:
+        if _kind(event) != "MigrationEvent":
+            continue
+        t = float(event.t)
+        v, src, dst = int(event.vertex), int(event.from_shard), \
+            int(event.to_shard)
+        if src == dst:
+            findings.append(TraceFinding(
+                "ownership-chain", t,
+                f"vertex {v} migrated to its own shard {src} "
+                f"({event.reason})"))
+            continue
+        if owner[v] != src:
+            findings.append(TraceFinding(
+                "ownership-chain", t,
+                f"vertex {v} migrated from shard {src} but is owned by "
+                f"shard {owner[v]} ({event.reason}): double ownership"))
+        owner[v] = dst
+    if final_assignment is not None:
+        wrong = [v for v, (a, b) in
+                 enumerate(zip(owner, final_assignment))
+                 if int(a) != int(b)]
+        if wrong:
+            head = ", ".join(
+                f"{v}: log={owner[v]} live={int(final_assignment[v])}"
+                for v in wrong[:5])
+            findings.append(TraceFinding(
+                "ownership-chain", None,
+                f"replayed migration log disagrees with the live "
+                f"assignment on {len(wrong)} vertex(es) ({head}"
+                f"{', ...' if len(wrong) > 5 else ''})"))
+    return findings
+
+
+def check_conservation(num_arrivals: int, report: Any = None,
+                       trace: Sequence[Any] | None = None,
+                       ) -> list[TraceFinding]:
+    """Every offered window is accounted for: served, dropped, or flushed.
+
+    With a report: ``windows + dropped_windows == offered``.  With a
+    trace: the batcher's FlushEvents must release every offered window
+    exactly once (drops happen downstream, at admission).
+    """
+    findings = []
+    if report is not None:
+        served = int(report.windows) + int(report.dropped_windows)
+        if served != num_arrivals:
+            findings.append(TraceFinding(
+                "conservation", None,
+                f"report accounts for {report.windows} served + "
+                f"{report.dropped_windows} dropped windows, but "
+                f"{num_arrivals} were offered"))
+    if trace is not None:
+        flushed = 0
+        for event in trace:
+            if _kind(event) == "FlushEvent":
+                flushed += int(event.windows)
+        if flushed != num_arrivals:
+            findings.append(TraceFinding(
+                "conservation", None,
+                f"batcher flushed {flushed} windows but {num_arrivals} "
+                f"were offered (arrivals lost before admission)"))
+    return findings
+
+
+def check_lane_agreement(heap_trace: Sequence[Any],
+                         vec_trace: Sequence[Any]) -> list[TraceFinding]:
+    """Heap vs vectorized scheduler: same workload, same event order.
+
+    Both lanes must produce the identical typed-event sequence.  The
+    first divergence at *equal* timestamps is same-key nondeterminism —
+    two events with equal ``(t, priority)`` whose relative order changed
+    between the per-event heap and the cohort-dispatch lane, exactly the
+    bug class the ``(t, priority, seq)`` contract exists to exclude.
+    """
+    findings = []
+    for i, (a, b) in enumerate(zip(heap_trace, vec_trace)):
+        if _event_key(a) == _event_key(b):
+            continue
+        if float(a.t) == float(b.t):
+            findings.append(TraceFinding(
+                "same-key-order", float(a.t),
+                f"lanes diverge at trace position {i} with equal "
+                f"timestamps: heap recorded {_kind(a)}, vectorized "
+                f"recorded {_kind(b)} — equal-(t, priority) events "
+                f"reordered between lanes"))
+        else:
+            findings.append(TraceFinding(
+                "lane-divergence", float(a.t),
+                f"lanes diverge at trace position {i}: heap "
+                f"{_kind(a)} at t={float(a.t):.6g} vs vectorized "
+                f"{_kind(b)} at t={float(b.t):.6g}"))
+        break                    # everything after the fork is noise
+    if len(heap_trace) != len(vec_trace) and not findings:
+        findings.append(TraceFinding(
+            "lane-divergence", None,
+            f"heap lane recorded {len(heap_trace)} events, vectorized "
+            f"{len(vec_trace)}"))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+def check_run(trace: Sequence[Any] | None = None, report: Any = None,
+              num_arrivals: int | None = None,
+              initial_assignment: Sequence[int] | None = None,
+              final_assignment: Sequence[int] | None = None,
+              heap_trace: Sequence[Any] | None = None,
+              engine: Any = None) -> TraceCheckReport:
+    """Run every applicable check over one recorded run.
+
+    Pass an ``engine`` after a traced run (``run(..., trace=True)``) and
+    the trace, report-independent counters, and final assignment are
+    pulled from it (``initial_assignment`` must still be a *pre-run*
+    copy — the router mutates in place).  Any explicitly passed value
+    wins over the engine's.
+    """
+    if engine is not None:
+        if trace is None:
+            trace = engine.last_event_trace
+        if num_arrivals is None:
+            num_arrivals = getattr(engine, "last_num_arrivals", None)
+        if final_assignment is None and initial_assignment is not None:
+            router = getattr(engine, "router", None)
+            if router is not None:
+                final_assignment = router.assignment
+    if trace is None:
+        raise ValueError("check_run needs a trace: run the engine with "
+                         "trace=True (tracing is off by default — it "
+                         "costs memory)")
+    findings: list[TraceFinding] = []
+    checks = ["causality", "exactly-once-service", "busy-overlap",
+              "mail-at-flush"]
+    findings += check_causality(trace)
+    findings += check_service_exactly_once(trace)
+    findings += check_mail_at_flush(trace)
+    if initial_assignment is not None:
+        checks.append("ownership-chain")
+        findings += check_ownership_chain(trace, initial_assignment,
+                                          final_assignment)
+    if num_arrivals is not None:
+        checks.append("conservation")
+        findings += check_conservation(num_arrivals, report=report,
+                                       trace=trace)
+    if heap_trace is not None:
+        checks.append("same-key-order")
+        findings += check_lane_agreement(heap_trace, trace)
+    return TraceCheckReport(findings=findings, events=len(trace),
+                            checks=tuple(checks))

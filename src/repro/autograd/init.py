@@ -14,7 +14,9 @@ __all__ = ["glorot_uniform", "uniform", "normal", "default_rng"]
 
 def default_rng(rng: np.random.Generator | None) -> np.random.Generator:
     """Return ``rng`` or a freshly seeded deterministic generator."""
-    return rng if rng is not None else np.random.default_rng(0)
+    # The designated seed-0 fallback every unseeded component shares.
+    return rng if rng is not None \
+        else np.random.default_rng(0)  # repro-lint: ok=unseeded-rng (documented deterministic fallback)
 
 
 def glorot_uniform(fan_out: int, fan_in: int,

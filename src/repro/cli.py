@@ -91,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="zcu104")
     g.add_argument("--batches", type=int, default=3)
     g.add_argument("--width", type=int, default=100)
+    g.add_argument("--seed", type=int, default=0)
 
     v = sub.add_parser("serve-sim",
                        help="sharded multi-stream serving simulation")
@@ -192,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical across runs with the same arguments on "
                         "the modeled/simulated backends; the 'software' "
                         "backend measures wall-clock and will differ)")
+    v.add_argument("--check-trace", action="store_true",
+                   help="record the typed event trace and replay it "
+                        "through repro.analysis.tracecheck (causality, "
+                        "exactly-once service/ownership, conservation; "
+                        "with --profile, also heap-vs-vectorized "
+                        "same-key order); prints the findings report "
+                        "and exits 3 on any finding")
     v.add_argument("--profile", action="store_true",
                    help="replay the same workload under the reference heap "
                         "scheduler and the vectorized scheduler, print the "
@@ -333,7 +341,7 @@ def cmd_trace(args, out=print) -> int:
     graph = wikipedia_like(num_edges=1000, num_users=120, num_items=25)
     cfg = ModelConfig(simplified_attention=True, lut_time_encoder=True,
                       pruning_budget=4)
-    model = TGNN(cfg, rng=np.random.default_rng(0))
+    model = TGNN(cfg, rng=np.random.default_rng(args.seed))
     model.calibrate(graph)
     acc = FPGAAccelerator(model, design)
     n = args.batches * design.nb
@@ -412,7 +420,8 @@ def cmd_serve_sim(args, out=print) -> int:
         return engine.run(graph, window_s=args.window_s,
                           speedup=args.speedup, num_streams=args.streams,
                           queue_capacity=args.queue_capacity,
-                          ingest=args.ingest, scheduler_cls=scheduler_cls)
+                          ingest=args.ingest, scheduler_cls=scheduler_cls,
+                          trace=args.check_trace)
 
     def plan_dies(placement):
         if fpga_design is None or args.topology == "pool":
@@ -527,6 +536,7 @@ def cmd_serve_sim(args, out=print) -> int:
                 if rebal_kwargs is not None else None
             eng = build_engine(placement=pl, die_of=plan_dies(pl),
                                rebalancer=reb, failures=plans)
+            initial = eng.router.assignment.copy()
             rep = run(eng, scheduler_cls=scheduler_cls)
             s = eng.last_scheduler
             calls = s.events_processed \
@@ -534,23 +544,38 @@ def cmd_serve_sim(args, out=print) -> int:
                 + getattr(s, "cohort_calls", 0)
             return rep, {"events": s.events_processed,
                          "wall_s": eng.last_loop_wall_s,
-                         "cohort_calls": calls}
+                         "cohort_calls": calls}, eng, initial
 
-        before_report, before_lane = lane(HeapEventScheduler)
-        report, after_lane = lane(None)
+        before_report, before_lane, before_eng, _ = lane(HeapEventScheduler)
+        report, after_lane, engine, initial_owner = lane(None)
         rows = event_core_breakdown(before_lane, after_lane)
         out("event core profile (same workload, both schedulers):")
         out(format_table(rows, precision=3))
         identical = before_report.to_json() == report.to_json()
         out(f"event core speedup {rows[-1]['events_per_sec']:.2f}x, "
             f"reports byte-identical: {'yes' if identical else 'NO'}")
+        heap_trace = before_eng.last_event_trace
     else:
         rebalancer = OnlineRebalancer(**rebal_kwargs) \
             if rebal_kwargs is not None else None
         engine = build_engine(placement=placement,
                               die_of=plan_dies(placement),
                               rebalancer=rebalancer, failures=plans)
+        initial_owner = engine.router.assignment.copy()
         report = run(engine)
+        heap_trace = None
+
+    if args.check_trace:
+        # Replay the recorded trace through the invariant checker: the
+        # run's own causality/exactly-once/conservation story, plus (with
+        # --profile) heap-vs-vectorized same-key order agreement.
+        from .analysis.tracecheck import check_run
+        result = check_run(engine=engine, report=report,
+                           initial_assignment=initial_owner,
+                           heap_trace=heap_trace)
+        out(result.render())
+        if not result.ok:
+            return 3
 
     if args.topology == "pool":
         label = (f"serve-sim: pool of {report.pool_servers} "

@@ -62,13 +62,19 @@ def _zipf_weights(n: int, exponent: float) -> np.ndarray:
     return w / w.sum()
 
 
-def generate_stream(spec: StreamSpec) -> TemporalGraph:
+def generate_stream(spec: StreamSpec,
+                    rng: np.random.Generator | None = None) -> TemporalGraph:
     """Sample a chronological bipartite interaction stream from ``spec``.
 
     Vertex id layout: users are ``[0, num_users)``, items are
     ``[num_users, num_users + num_items)``.
+
+    ``rng`` lets a caller thread one generator through a pipeline of
+    stochastic stages; the default derives a fresh generator from
+    ``spec.seed``, so two calls with the same spec are byte-identical.
     """
-    rng = np.random.default_rng(spec.seed)
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
     U, I, E = spec.num_users, spec.num_items, spec.num_edges
     # Every community needs at least one item (see below), so tiny item sets
     # clamp the community count.

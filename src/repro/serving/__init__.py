@@ -161,6 +161,35 @@ to the unsharded runtime (the exactness suite in ``test_failover``).
 ``serve-sim --fail-at --fail-shard --fail-mode --recover-at`` drives it;
 a run with chaos off omits every chaos key from the JSON report, so the
 golden reports of earlier revisions stay byte-identical.
+
+Correctness tooling
+-------------------
+The exactness contracts above are conventions; :mod:`repro.analysis`
+enforces them mechanically, before the golden diff can catch a break:
+
+* **repro-lint** (static) — a stdlib-``ast`` linter whose ruleset *is*
+  this package's style guide: ``unseeded-rng`` (all randomness flows from
+  an explicit ``np.random.Generator`` / threaded seed; no global-state
+  APIs, no buried literal seeds), ``wall-clock-in-events`` (handlers in
+  ``events.py`` take time from the scheduler, never the host clock),
+  ``unordered-iteration`` (no set / ``.keys()`` iteration feeding
+  scheduling or report assembly), ``float-sum-report`` (builtin ``sum()``
+  only over integer summands on report paths; float reductions use
+  ``math.fsum`` or a documented stable order), ``report-omit-when-off``
+  (new defaulted :class:`ServingReport` fields must be deleted from
+  ``to_dict()`` when off, or every pinned golden re-bakes), and
+  ``scheduler-purity`` (actors touch the scheduler only via
+  ``schedule``/``schedule_run``/``cancel``/``record``).  Intentional
+  sites carry ``# repro-lint: ok=<rule> (reason)``.
+* **tracecheck** (dynamic) — replays a ``trace=True`` run's typed-event
+  trace and flags causality violations, non-exactly-once service or
+  ownership, busy-interval overlap, off-flush mail, conservation breaks,
+  and equal-``(t, priority)`` order divergence between the heap and
+  vectorized lanes.  ``serve-sim --check-trace`` (exit 3 on findings)
+  and the bench smoke's trace-invariants lane run it end-to-end.
+
+Both halves block CI (the ``lint`` job runs ahead of tier-1, together
+with the ruff/mypy baseline in pyproject.toml).
 """
 
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401

@@ -585,10 +585,12 @@ class ServingEngine:
         self.failure_injector = None if failures is None \
             else FailureInjector(failures)
         # Populated by each run: typed trace (or None), the scheduler
-        # instance (counters), and the event-loop wall-clock seconds.
+        # instance (counters), the event-loop wall-clock seconds, and the
+        # offered-arrival count (the conservation check's denominator).
         self.last_event_trace = None
         self.last_scheduler = None
         self.last_loop_wall_s = 0.0
+        self.last_num_arrivals = 0
 
     @classmethod
     def from_registry(cls, backend: str | Sequence[str], model,
@@ -675,7 +677,8 @@ class ServingEngine:
             num_streams: int = 1,
             queue_capacity: int | None = None,
             ingest: str = "serial",
-            scheduler_cls: type | None = None) -> ServingReport:
+            scheduler_cls: type | None = None,
+            trace: bool = False) -> ServingReport:
         """Replay the multi-stream arrival process through the topology.
 
         ``ingest="serial"`` serializes batching in front of service (the
@@ -695,6 +698,10 @@ class ServingEngine:
         :class:`EventScheduler`; pass :class:`HeapEventScheduler` for the
         reference per-event loop — the bench and ``serve-sim --profile``
         use it as the before/after comparison lane).
+
+        ``trace=True`` records the full typed-event trace (costs memory)
+        and exposes it as ``last_event_trace`` — the input of
+        :mod:`repro.analysis.tracecheck` and the invariant suites.
         """
         if ingest not in INGEST_MODES:
             raise ValueError(f"ingest must be one of {INGEST_MODES}")
@@ -702,7 +709,7 @@ class ServingEngine:
                                         num_streams=num_streams, start=start,
                                         end=end, speedup=speedup)
         return self._run_events(arrivals, window_s, speedup, num_streams,
-                                queue_capacity, ingest,
+                                queue_capacity, ingest, trace=trace,
                                 scheduler_cls=scheduler_cls)
 
     # ------------------------------------------------------------------ #
@@ -833,6 +840,7 @@ class ServingEngine:
         self.last_event_trace = sched.trace
         self.last_scheduler = sched
         self.last_loop_wall_s = loop_wall
+        self.last_num_arrivals = len(arrivals)
         shard_results = [g.finalize() for g in groups]
 
         if pooled:

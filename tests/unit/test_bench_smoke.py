@@ -20,10 +20,10 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-# Seconds of wall clock the whole smoke harness (7 benches + interpreter
-# startup) may take.  Healthy runs finish in ~7 s; the budget leaves ~5x
+# Seconds of wall clock the whole smoke harness (8 benches + interpreter
+# startup) may take.  Healthy runs finish in ~8 s; the budget leaves ~5x
 # headroom for slow CI machines while still catching a per-event blowup.
-SMOKE_BUDGET_S = 40.0
+SMOKE_BUDGET_S = 45.0
 
 
 def test_serving_scale_smoke_runs_quickly(tmp_path):
@@ -38,7 +38,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
     elapsed = time.monotonic() - t0
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "7 passed" in proc.stdout
+    assert "8 passed" in proc.stdout
     assert "Serving scale" in proc.stdout
     assert "Placement x topology" in proc.stdout
     assert "Memory sync" in proc.stdout
@@ -46,6 +46,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
     assert "Online rebalancing" in proc.stdout
     assert "Failover" in proc.stdout
     assert "Event core" in proc.stdout
+    assert "Trace invariants" in proc.stdout
     # The perf-trajectory artifact CI diffs against its baseline.
     assert os.path.exists(os.path.join(
         str(tmp_path), "BENCH_events_per_sec.json"))
