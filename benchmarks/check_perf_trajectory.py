@@ -9,6 +9,13 @@ tolerance.  The ratio — not absolute events/sec — is compared because
 both lanes run on the same machine in the same process, so the ratio is
 hardware-independent while absolute throughput is not.
 
+The same guard covers ``BENCH_measured_backend.json`` from
+``test_measured_backend_scaling`` against
+``benchmarks/baselines/measured_events_per_sec.json`` — there the ratio
+is the measured worker pool's event-time throughput at ``workers=4`` vs
+``workers=1``, equally hardware-independent (lane arithmetic over
+measured durations, not wall-clock overlap).
+
 Other ``BENCH_*`` artifacts (e.g. ``BENCH_failover.json`` from the
 failure-injection sweep) carry no ``speedup_ratio``; pointing the guard
 at one is a clean no-op rather than a KeyError, so CI can glob the

@@ -105,7 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
     from .serving.registry import DEFAULT_REGISTRY
     v.add_argument("--backend", default="zcu104",
                    choices=DEFAULT_REGISTRY.available(),
-                   help="registry backend name, replicated per shard")
+                   help="registry backend name, replicated per shard; "
+                        "'measured' executes the real numpy kernels in a "
+                        "worker pool (--workers) and reconciles measured "
+                        "durations into event time")
+    v.add_argument("--workers", type=int, default=0,
+                   help="measured backend only: worker-pool process lanes "
+                        "running the real kernels (shard s on lane "
+                        "s %% N); 0 computes in-process with one virtual "
+                        "lane per shard")
     v.add_argument("--batch-edges", type=int, default=None,
                    help="dynamic batcher size trigger (edges)")
     v.add_argument("--deadline-ms", type=float, default=None,
@@ -381,6 +389,16 @@ def cmd_serve_sim(args, out=print) -> int:
     # skip the (never-read) per-shard functional inference entirely.
     backend_kwargs = {"functional": False} \
         if args.backend in ("cpu-32t", "gpu") else None
+    if args.backend == "measured" and args.topology != "sharded":
+        out(f"error: --backend measured requires --topology sharded "
+            f"(the worker pool pins one real kernel runtime per shard; "
+            f"{args.topology} replicas would share mutable state across "
+            f"processes)")
+        return 2
+    if args.workers and args.backend != "measured":
+        out(f"note: --workers is ignored with the modeled "
+            f"{args.backend} backend (only --backend measured runs a "
+            f"worker pool)")
     fpga_design = None
     if args.backend in ("u200", "zcu104"):
         from .hw import U200_DESIGN, ZCU104_DESIGN
@@ -411,6 +429,8 @@ def cmd_serve_sim(args, out=print) -> int:
             kwargs["die_of"] = die_of
             kwargs["mail_hop_s"] = \
                 fpga_design.die_crossing_cycles * fpga_design.clock_s
+        if args.backend == "measured":
+            kwargs["workers"] = args.workers
         return ServingEngine.from_registry(
             args.backend, model, graph, num_shards=args.shards,
             registry=DEFAULT_REGISTRY, backend_kwargs=backend_kwargs,
@@ -551,10 +571,27 @@ def cmd_serve_sim(args, out=print) -> int:
         rows = event_core_breakdown(before_lane, after_lane)
         out("event core profile (same workload, both schedulers):")
         out(format_table(rows, precision=3))
-        identical = before_report.to_json() == report.to_json()
-        out(f"event core speedup {rows[-1]['events_per_sec']:.2f}x, "
-            f"reports byte-identical: {'yes' if identical else 'NO'}")
-        heap_trace = before_eng.last_event_trace
+        if report.measured is not None:
+            # Measured service times are wall-clock, so the two lanes can
+            # never agree byte-for-byte (and the heap lane's event order
+            # is its own timing's, not the vectorized lane's): compare the
+            # float-free structural projection and skip the cross-lane
+            # order check.
+            from .profiling import modeled_vs_measured
+            identical = before_report.to_structure_json() \
+                == report.to_structure_json()
+            out(f"event core speedup {rows[-1]['events_per_sec']:.2f}x, "
+                f"report structures identical: "
+                f"{'yes' if identical else 'NO'}")
+            out("modeled vs measured service time (vectorized lane):")
+            out(format_table(modeled_vs_measured(report.measured),
+                             precision=3))
+            heap_trace = None
+        else:
+            identical = before_report.to_json() == report.to_json()
+            out(f"event core speedup {rows[-1]['events_per_sec']:.2f}x, "
+                f"reports byte-identical: {'yes' if identical else 'NO'}")
+            heap_trace = before_eng.last_event_trace
     else:
         rebalancer = OnlineRebalancer(**rebal_kwargs) \
             if rebal_kwargs is not None else None
@@ -621,6 +658,15 @@ def cmd_serve_sim(args, out=print) -> int:
             f"{report.recovery_rows} recovery rows; outage p99 "
             f"{report.outage_p99_response_s * 1e3:.3f} ms over "
             f"{report.outage_windows} window(s)")
+    if report.measured is not None:
+        m = report.measured
+        modeled = m.get("modeled_mean_s")
+        modeled_tag = "" if modeled is None \
+            else f", modeled {modeled * 1e3:.3f} ms"
+        out(f"measured: {m['samples']} kernel batch(es) on "
+            f"{m['workers']} worker lane(s), mean service "
+            f"{m['mean_s'] * 1e3:.3f} ms (cv2 {m['cv2']:.2f})"
+            f"{modeled_tag}")
     if args.json:
         with open(args.json, "w") as f:
             f.write(report.to_json() + "\n")

@@ -11,12 +11,13 @@ from .memory_updater import GRUMemoryUpdater, RNNMemoryUpdater  # noqa: F401
 from .message import build_raw_messages  # noqa: F401
 from .multilayer import MultiLayerTGNN  # noqa: F401
 from .pruning import select_pruned, top_k_mask  # noqa: F401
-from .tgn import TGNN, BatchResult, ModelRuntime  # noqa: F401
+from .tgn import (KERNEL_STAGES, TGNN, BatchResult,  # noqa: F401
+                  ModelRuntime)
 from .time_encoding import CosineTimeEncoder, LUTTimeEncoder  # noqa: F401
 
 __all__ = [
     "ModelConfig", "variant_ladder", "NP_BUDGETS",
-    "TGNN", "ModelRuntime", "BatchResult",
+    "TGNN", "ModelRuntime", "BatchResult", "KERNEL_STAGES",
     "CosineTimeEncoder", "LUTTimeEncoder",
     "VanillaTemporalAttention", "SimplifiedTemporalAttention",
     "AttentionOutput", "DT_SCALE",

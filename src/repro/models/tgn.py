@@ -17,6 +17,20 @@ Two execution paths share the same parameters:
   timings of Table I.  The two paths agree to float round-off (asserted by
   integration tests), and the hardware simulator reuses the same per-module
   numpy kernels, so all three implementations are functionally identical.
+
+Worker-pool contract (measured serving backends)
+------------------------------------------------
+:class:`TGNN`, :class:`ModelRuntime`, and the graph are **picklable**, and
+:meth:`infer_batch` is stateless apart from the runtime it is handed —
+parameters (including the ``prepare_inference`` premultiplied LUT cache)
+are plain numpy arrays with no open handles, closures, or clocks.  The
+measured serving path (:mod:`repro.serving.measured`) relies on this:
+each worker process receives ``(model, graph)`` once, builds its own
+runtime via :meth:`TGNN.new_runtime`, and replays its shard's sub-batches
+FIFO through :meth:`infer_batch`.  Changes that break picklability (e.g.
+caching a lambda on the model) break `serve-sim --backend measured
+--workers N`; ``test_measured`` pins the contract.  :data:`KERNEL_STAGES`
+names the Table I stage keys ``infer_batch`` reports via ``timings``.
 """
 
 from __future__ import annotations
@@ -39,7 +53,13 @@ from .message import build_raw_messages
 from .pruning import select_pruned
 from .time_encoding import CosineTimeEncoder, LUTTimeEncoder
 
-__all__ = ["TGNN", "ModelRuntime", "BatchResult", "MemoryUpdate"]
+__all__ = ["TGNN", "ModelRuntime", "BatchResult", "MemoryUpdate",
+           "KERNEL_STAGES"]
+
+# Table I stage keys of the deployment path, in pipeline order: the
+# ``timings`` dict of :meth:`TGNN.infer_batch` uses exactly these, and the
+# measured serving backend's per-stage report aggregates under them.
+KERNEL_STAGES = ("memory", "sample", "gnn", "update")
 
 
 def _assemble_endpoints(batch: EdgeBatch) -> tuple[np.ndarray, np.ndarray,

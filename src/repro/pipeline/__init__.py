@@ -17,6 +17,18 @@ Every replay/queueing entry point here — and the sharded serving layer in
 ``name: str`` (optional)
     Label used in reports; falls back to the class name.
 
+``measured: bool`` (optional)
+    The **measured variant** of the protocol.  A backend carrying
+    ``measured = True`` (see :class:`repro.serving.MeasuredBackend`)
+    promises that ``process_batch`` *executes* the batch's real kernels
+    and returns their measured wall-clock seconds, and that its
+    ``model``/``graph`` attributes are picklable — the serving engine
+    then runs it through a persistent worker pool
+    (:class:`repro.serving.WorkerPool`, one process lane per worker)
+    instead of calling it inline, reconciling measured durations back
+    into deterministic event time (:mod:`repro.serving.measured`).
+    Modeled backends simply omit the attribute.
+
 New backends need no registration to work with these functions; to be
 constructible by name (per serving shard, from the CLI), add a factory to
 :class:`repro.serving.BackendRegistry`.

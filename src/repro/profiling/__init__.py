@@ -2,12 +2,13 @@
 
 from . import paper_reference  # noqa: F401
 from .breakdown import (event_core_breakdown, format_table,  # noqa: F401
-                        table1_breakdown, table2_ladder)
+                        modeled_vs_measured, table1_breakdown,
+                        table2_ladder)
 from .op_counter import (PARTS, Convention, OpCounts, count_ops,  # noqa: F401
                          count_ops_apan)
 
 __all__ = [
     "Convention", "OpCounts", "count_ops", "count_ops_apan", "PARTS",
     "table1_breakdown", "table2_ladder", "event_core_breakdown",
-    "format_table", "paper_reference",
+    "modeled_vs_measured", "format_table", "paper_reference",
 ]

@@ -10,7 +10,7 @@ from ..models.config import ModelConfig, variant_ladder
 from .op_counter import PARTS, Convention, OpCounts, count_ops
 
 __all__ = ["table1_breakdown", "table2_ladder", "event_core_breakdown",
-           "format_table"]
+           "modeled_vs_measured", "format_table"]
 
 
 def table1_breakdown(cfg: ModelConfig,
@@ -93,6 +93,37 @@ def event_core_breakdown(before: dict, after: dict) -> list[dict]:
         "wall_s": "",
         "events_per_sec": eps_after / eps_before if eps_before else 0.0,
     })
+    return rows
+
+
+def modeled_vs_measured(measured: dict) -> list[dict]:
+    """Modeled-vs-measured service-time rows from a report's ``measured``
+    block (``serve-sim --backend measured --profile``).
+
+    One row per shard plus a pooled ``all`` row: sample count, modeled and
+    measured mean service time in milliseconds, their ratio
+    (modeled / measured — how far off the analytical cost model is from
+    the real kernels on this host), and the measured cv².  Same
+    list-of-dicts shape as the other breakdowns, rendered with
+    :func:`format_table`.
+    """
+    def row(label, block):
+        measured_ms = 1e3 * float(block["mean_s"])
+        modeled = block.get("modeled_mean_s")
+        modeled_ms = 1e3 * float(modeled) if modeled is not None else None
+        return {
+            "shard": label,
+            "samples": int(block["samples"]),
+            "modeled_ms": modeled_ms if modeled_ms is not None else "-",
+            "measured_ms": measured_ms,
+            "modeled/measured": modeled_ms / measured_ms
+            if modeled_ms is not None and measured_ms > 0 else "-",
+            "cv2": float(block["cv2"]),
+        }
+
+    rows = [row(str(shard["shard"]), shard)
+            for shard in measured.get("per_shard", [])]
+    rows.append(row("all", measured))
     return rows
 
 

@@ -134,6 +134,31 @@ non-held endpoints is a policy (:mod:`repro.serving.memsync`):
   times and reports ``sync_edges`` / ``stale_reads`` / ``max_version_lag``
   (``serve-sim --memsync {none,invalidate,push}`` sweeps it).
 
+Measured backends
+-----------------
+Every backend above *prices* a batch; the ``measured`` backend
+(:mod:`repro.serving.measured`) *executes* it.  A
+:class:`MeasuredServerGroup` — a drop-in :class:`ServerGroup` subclass —
+dispatches each admitted sub-batch's real numpy
+``update_memory``/``embed`` kernels to a persistent
+:class:`WorkerPool` (``workers=N`` process lanes, shard ``s`` pinned to
+lane ``s % N`` so each shard's stream stays FIFO against one persistent
+runtime; ``workers=0`` computes in-process) and reconciles the measured
+wall-clock duration back into deterministic event time: completions are
+committed in dispatch order at ``max(t_begin, lane_free) + measured_s``,
+so the event core stays exact and traced runs replay through
+``tracecheck`` clean while shards genuinely execute in parallel on the
+wall clock.  The wall clock enters through exactly one audited door —
+the :func:`timed_kernel` context manager, the only site the
+``wall-clock-in-events`` lint rule permits — and the report gains a
+``measured`` block (pooled and per-shard mean/cv², modeled-vs-measured
+means, kernel stage split; omitted on modeled runs, so the goldens
+stand).  Runs are deterministic in *structure* but not timing values;
+:meth:`ServingReport.to_structure_json` is the byte-comparable
+projection, and the measured service-time samples feed the tier-2
+Kingman/Allen–Cunneen G/G/c checks with measured cv².  ``serve-sim
+--backend measured --workers N`` drives it.
+
 Failure injection and exact failover
 ------------------------------------
 Chaos is a first-class schedule, not a test-only monkeypatch.  A
@@ -171,7 +196,9 @@ enforces them mechanically, before the golden diff can catch a break:
   this package's style guide: ``unseeded-rng`` (all randomness flows from
   an explicit ``np.random.Generator`` / threaded seed; no global-state
   APIs, no buried literal seeds), ``wall-clock-in-events`` (handlers in
-  ``events.py`` take time from the scheduler, never the host clock),
+  ``events.py`` and ``measured.py`` take time from the scheduler, never
+  the host clock — ``measured.timed_kernel`` is the one carved-out
+  kernel-timing site),
   ``unordered-iteration`` (no set / ``.keys()`` iteration feeding
   scheduling or report assembly), ``float-sum-report`` (builtin ``sum()``
   only over integer summands on report paths; float reductions use
@@ -201,6 +228,8 @@ from .events import (INGEST_MODES, ArrivalEvent, BatcherActor,  # noqa: F401
                      MigrationEvent, RecoveryEvent, RouterActor,
                      ServerGroup, ServiceBeginEvent, ServiceEndEvent,
                      Submission, SyncEvent)
+from .measured import (KernelTimer, MeasuredBackend,  # noqa: F401
+                       MeasuredServerGroup, WorkerPool, timed_kernel)
 from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
                       VersionedMemoryCache)
 from .rebalance import (HANDOFF_ROWS_PER_VERTEX,  # noqa: F401
@@ -232,4 +261,6 @@ __all__ = [
     "HotColdHybrid", "PLACEMENT_POLICIES", "make_policy",
     "replica_shards_from_traffic",
     "MEMSYNC_POLICIES", "VersionedMemoryCache", "ShardedRuntime",
+    "MeasuredBackend", "MeasuredServerGroup", "WorkerPool",
+    "KernelTimer", "timed_kernel",
 ]

@@ -66,6 +66,7 @@ from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
 from .events import (INGEST_MODES, _MIGRATE, BatcherActor, EventScheduler,
                      FailureEvent, FailurePlan, MigrationEvent, RecoveryEvent,
                      RouterActor, ServerGroup, SimulationResult, Submission)
+from .measured import MeasuredServerGroup, WorkerPool
 from .memsync import MEMSYNC_POLICIES, VersionedMemoryCache
 from .placement import HotColdHybrid, Placement, VertexHeat
 from .rebalance import HANDOFF_ROWS_PER_VERTEX
@@ -76,6 +77,24 @@ __all__ = ["ShardStats", "ServingReport", "ServingEngine",
            "FailureInjector", "make_stream_arrivals"]
 
 TOPOLOGIES = ("sharded", "pool", "hybrid")
+
+
+def _null_floats(obj):
+    """Recursively replace floats with ``None`` (bools/ints untouched).
+
+    The projection behind :meth:`ServingReport.to_structure_json`: it
+    keeps every count, name, and flag while erasing the values that a
+    measured run cannot reproduce bit-for-bit.
+    """
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, float):
+        return None
+    if isinstance(obj, dict):
+        return {key: _null_floats(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_null_floats(value) for value in obj]
+    return obj
 
 
 @dataclass(frozen=True)
@@ -152,6 +171,8 @@ class ServingReport:
     recovery_rows: int = 0      # state rows moved by failover + fail-back
     outage_windows: int = 0     # served windows that arrived in an outage
     outage_p99_response_s: float = 0.0  # p99 over those windows
+    measured: dict | None = None  # measured-backend block (mean/cv²/
+                                  # per-shard split); None on modeled runs
 
     @property
     def stable(self) -> bool:
@@ -212,12 +233,28 @@ class ServingReport:
                         "recovery_rows", "outage_windows",
                         "outage_p99_response_s"):
                 del d[key]
+        if d["measured"] is None:
+            # Modeled runs keep the historical schema byte-for-byte; only
+            # measured-backend runs add the block.
+            del d["measured"]
         return d
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, fixed separators — byte-stable for
         identical runs (the golden-determinism contract)."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def to_structure_json(self) -> str:
+        """Canonical JSON with every float nulled out.
+
+        Measured-backend runs are deterministic in *structure* (which
+        windows were served, how work was split, every counter) but not
+        in timing values — those are real wall-clock measurements.  This
+        projection is the byte-comparable form: two runs of the same
+        workload agree on it exactly, whatever the host was doing.
+        """
+        return json.dumps(_null_floats(self.to_dict()), sort_keys=True,
+                          indent=2)
 
 
 def make_stream_arrivals(graph: TemporalGraph, window_s: float,
@@ -498,6 +535,15 @@ class ServingEngine:
         (keys omitted when off).  Mutually exclusive with ``rebalancer``:
         a failover would invalidate the rebalancer's in-flight
         decision-to-application ownership check.
+    workers:
+        Worker-pool width for **measured** backends (any backend with
+        ``measured = True``, e.g. the registry's ``"measured"``): the
+        engine builds a :class:`~repro.serving.measured.WorkerPool` of
+        this many process lanes, runs each shard's real kernels on lane
+        ``shard % workers``, and reconciles measured durations into
+        event time (see :mod:`repro.serving.measured`).  ``0`` (default)
+        computes in-process with one virtual lane per shard.  Only legal
+        with measured backends, which require ``topology="sharded"``.
     """
 
     def __init__(self, backends: Sequence, num_nodes: int,
@@ -510,9 +556,31 @@ class ServingEngine:
                  pool_servers: int | None = None,
                  memsync: str = "none",
                  rebalancer=None,
-                 failures=None):
+                 failures=None,
+                 workers: int = 0):
         if not backends:
             raise ValueError("need at least one backend")
+        measured_flags = [bool(getattr(b, "measured", False))
+                          for b in backends]
+        self._measured = any(measured_flags)
+        if self._measured:
+            if not all(measured_flags):
+                raise ValueError(
+                    "measured and modeled backends cannot mix in one "
+                    "fleet: the worker pool owns every shard's runtime")
+            if topology != "sharded":
+                raise ValueError(
+                    "measured backends require topology='sharded': pool "
+                    "and hybrid replicas share one stateful backend "
+                    "across concurrent servers, which a worker lane "
+                    "cannot reproduce")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if workers and not self._measured:
+            raise ValueError(
+                "workers only applies to measured backends; modeled "
+                "backends price batches without executing them")
+        self.workers = int(workers)
         if topology not in TOPOLOGIES:
             raise ValueError(f"topology must be one of {TOPOLOGIES}")
         if memsync not in MEMSYNC_POLICIES:
@@ -714,19 +782,37 @@ class ServingEngine:
 
     # ------------------------------------------------------------------ #
     def _make_groups(self, sched: EventScheduler,
-                     queue_capacity: int | None) -> list[ServerGroup]:
+                     queue_capacity: int | None,
+                     pool: WorkerPool | None = None) -> list[ServerGroup]:
         """One server group per backend: dedicated shards are 1-server
         groups; the pool (whole fleet, or the hybrid cold tail) is one
-        K-server group."""
+        K-server group.  Measured backends get a
+        :class:`~repro.serving.measured.MeasuredServerGroup` wired to the
+        worker ``pool`` instead of a modeled service closure."""
         if self.topology == "pool":
             server_counts = [self.pool_servers]
         elif self.topology == "hybrid":
             server_counts = [1] * (self.num_shards - 1) + [self.pool_servers]
         else:
             server_counts = [1] * self.num_shards
-        groups = []
+        groups: list[ServerGroup] = []
+
+        def sub_batch(payload):
+            return payload[1].batch
+
+        def hop_service(payload):
+            _, _, hops, sync_hops = payload
+            return self.mail_hop_s * (hops + sync_hops)
+
         for gid, (n_srv, backend) in enumerate(zip(server_counts,
                                                    self.backends)):
+            if self._measured:
+                assert pool is not None
+                groups.append(MeasuredServerGroup(
+                    gid, n_srv, backend, pool, sched,
+                    queue_capacity=queue_capacity,
+                    prepare=sub_batch, extra_service=hop_service))
+                continue
             if self.topology == "pool":
                 def service(job, _backend=backend):
                     return _backend.process_batch(job.batch)
@@ -744,8 +830,28 @@ class ServingEngine:
                     queue_capacity: int | None, ingest: str,
                     trace: bool = False,
                     scheduler_cls: type | None = None) -> ServingReport:
+        pool = None
+        if self._measured:
+            # Worker lanes live exactly as long as the loop: state is
+            # pinned per shard at start, and shutdown joins the processes
+            # even when the run raises.
+            pool = WorkerPool(self.workers)
+            pool.start(dict(enumerate(self.backends)))
+        try:
+            return self._run_loop(arrivals, window_s, speedup, num_streams,
+                                  queue_capacity, ingest, trace,
+                                  scheduler_cls, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def _run_loop(self, arrivals: list[StreamArrival], window_s: float,
+                  speedup: float, num_streams: int,
+                  queue_capacity: int | None, ingest: str, trace: bool,
+                  scheduler_cls: type | None,
+                  pool: WorkerPool | None) -> ServingReport:
         sched = (scheduler_cls or EventScheduler)(trace=trace)
-        groups = self._make_groups(sched, queue_capacity)
+        groups = self._make_groups(sched, queue_capacity, pool)
         pooled = self.topology == "pool"
         cache = None if pooled else \
             VersionedMemoryCache(self.router.placement, policy=self.memsync)
@@ -848,7 +954,59 @@ class ServingEngine:
                                      window_s, speedup, num_streams, ingest)
         return self._sharded_report(arrivals, jobs, per_shard, shard_results,
                                     window_s, speedup, num_streams, ingest,
-                                    rebal, chaos)
+                                    rebal, chaos,
+                                    measured=self._measured_block(groups))
+
+    # ------------------------------------------------------------------ #
+    def _measured_block(self, groups: Sequence[ServerGroup]) -> dict | None:
+        """Summarize measured service-time samples for the report.
+
+        ``None`` on modeled runs (the key is then omitted from the
+        report, keeping pre-measured goldens byte-identical).  Values are
+        wall-clock statistics and therefore *not* run-reproducible; the
+        block's structure is (see :meth:`ServingReport.to_structure_json`).
+        """
+        if not self._measured:
+            return None
+
+        def stats(samples: np.ndarray) -> tuple[float, float]:
+            mean = float(samples.mean()) if len(samples) else 0.0
+            cv2 = float(samples.var() / mean ** 2) \
+                if len(samples) and mean > 0 else 0.0
+            return mean, cv2
+
+        def modeled_mean(samples: np.ndarray) -> float | None:
+            with_model = samples[~np.isnan(samples)]
+            return float(with_model.mean()) if len(with_model) else None
+
+        per_shard = []
+        all_measured: list[np.ndarray] = []
+        all_modeled: list[np.ndarray] = []
+        stage_seconds: dict[str, float] = {}
+        for group in groups:
+            if not isinstance(group, MeasuredServerGroup):
+                continue
+            m = np.asarray([s[0] for s in group.samples])
+            mod = np.asarray([s[1] for s in group.samples])
+            all_measured.append(m)
+            all_modeled.append(mod)
+            mean, cv2 = stats(m)
+            per_shard.append({"shard": group.gid, "samples": len(m),
+                              "mean_s": mean, "cv2": cv2,
+                              "modeled_mean_s": modeled_mean(mod)})
+            for stage in sorted(group.stage_seconds):
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) \
+                    + group.stage_seconds[stage]
+        pooled_m = np.concatenate(all_measured) if all_measured \
+            else np.empty(0)
+        pooled_mod = np.concatenate(all_modeled) if all_modeled \
+            else np.empty(0)
+        mean, cv2 = stats(pooled_m)
+        return {"workers": self.workers, "samples": len(pooled_m),
+                "mean_s": mean, "cv2": cv2,
+                "modeled_mean_s": modeled_mean(pooled_mod),
+                "stage_seconds": stage_seconds,
+                "per_shard": per_shard}
 
     # ------------------------------------------------------------------ #
     def _sharded_report(self, arrivals: list[StreamArrival],
@@ -856,7 +1014,8 @@ class ServingEngine:
                         per_shard: list[list[tuple[float, tuple]]],
                         shard_results: list[SimulationResult],
                         window_s: float, speedup: float, num_streams: int,
-                        ingest: str, rebal=None, chaos=None) -> ServingReport:
+                        ingest: str, rebal=None, chaos=None,
+                        measured: dict | None = None) -> ServingReport:
         mailbox = CrossShardMailbox(self.num_shards)
 
         # Resolve drops globally first: a window is dropped if *any*
@@ -980,7 +1139,8 @@ class ServingEngine:
             outage_windows=len(outage_resp),
             outage_p99_response_s=float(
                 np.percentile(np.sort(np.asarray(outage_resp)), 99))
-            if outage_resp else 0.0)
+            if outage_resp else 0.0,
+            measured=measured)
 
     # ------------------------------------------------------------------ #
     def _pool_report(self, arrivals: list[StreamArrival],

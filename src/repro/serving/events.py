@@ -771,13 +771,22 @@ class ServerGroup:
             service *= self.service_factor
         free_t, srv = heapq.heappop(self._idle)
         begin = max(free_t, t_arrive)
+        self._commit(i, srv, t_arrive, begin, service)
+
+    def _commit(self, i: int, srv: int, t_arrive: float, begin: float,
+                service: float) -> None:
+        """Commit one job's service interval: statistics, trace rows, and
+        the end event.  The single service-accounting path — subclasses
+        that *measure* service times (``repro.serving.measured``) reuse it
+        so traced runs stay invariant-checkable regardless of where the
+        duration came from."""
         finish = begin + service
         self._busy += service
         self._served[i] = ServedJob(index=i, t_arrive=t_arrive,
                                     t_begin=begin, t_finish=finish,
                                     service_s=service, server=srv)
         if self._sched.trace is not None:
-            self._sched.record(ServiceBeginEvent(begin, self.gid, srv, i))
+            self._record_begin(begin, srv, i)
             self._sched.schedule(finish, _END,
                                  ServiceEndEvent(finish, self.gid, srv, i),
                                  self._on_end)
@@ -787,6 +796,11 @@ class ServerGroup:
             # allocations per job on the hot loop.
             self._sched.schedule(finish, _END, (finish, srv),
                                  self._on_end_fast)
+
+    def _record_begin(self, begin: float, srv: int, i: int) -> None:
+        # Hook point: the measured subclass defers lane-delayed begins so
+        # the trace stays causally ordered.
+        self._sched.record(ServiceBeginEvent(begin, self.gid, srv, i))
 
     def _on_end(self, ev: ServiceEndEvent) -> None:
         self._end(ev.t, ev.server)

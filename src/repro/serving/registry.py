@@ -14,6 +14,14 @@ Built-in names
 ``cpu-32t`` / ``gpu``   calibrated GPP cost models (timing modeled; pass
                         ``functional=False`` to skip the functional state
                         advance when only timing matters)
+``measured``            real kernels on the event core: service times are
+                        wall-clock measurements of the numpy
+                        ``update_memory``/``embed`` kernels, executed by
+                        the serving engine's worker pool (see
+                        :mod:`repro.serving.measured`); carries a
+                        non-functional ``cpu-32t`` pricing companion for
+                        the modeled-vs-measured report block (disable
+                        with ``modeled=False``)
 """
 
 from __future__ import annotations
@@ -98,3 +106,12 @@ for _name in ("u200", "zcu104"):
     DEFAULT_REGISTRY.register(_name, _fpga_factory(_name))
 for _name in ("cpu-32t", "gpu"):
     DEFAULT_REGISTRY.register(_name, _gpp_factory(_name))
+
+
+@DEFAULT_REGISTRY.register("measured")
+def _measured(model, graph, modeled: bool = True, **_):
+    from .measured import MeasuredBackend
+    companion = DEFAULT_REGISTRY.create("cpu-32t", model, graph,
+                                        functional=False) if modeled \
+        else None
+    return MeasuredBackend(model, graph, modeled=companion)

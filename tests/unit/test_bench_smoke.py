@@ -20,7 +20,7 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-# Seconds of wall clock the whole smoke harness (8 benches + interpreter
+# Seconds of wall clock the whole smoke harness (9 benches + interpreter
 # startup) may take.  Healthy runs finish in ~8 s; the budget leaves ~5x
 # headroom for slow CI machines while still catching a per-event blowup.
 SMOKE_BUDGET_S = 45.0
@@ -38,7 +38,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
     elapsed = time.monotonic() - t0
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "8 passed" in proc.stdout
+    assert "9 passed" in proc.stdout
     assert "Serving scale" in proc.stdout
     assert "Placement x topology" in proc.stdout
     assert "Memory sync" in proc.stdout
@@ -47,6 +47,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
     assert "Failover" in proc.stdout
     assert "Event core" in proc.stdout
     assert "Trace invariants" in proc.stdout
+    assert "Measured backend" in proc.stdout
     # The perf-trajectory artifact CI diffs against its baseline.
     assert os.path.exists(os.path.join(
         str(tmp_path), "BENCH_events_per_sec.json"))
@@ -54,6 +55,9 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
     # ``speedup_ratio``, and check_perf_trajectory.py must tolerate it.
     assert os.path.exists(os.path.join(
         str(tmp_path), "BENCH_failover.json"))
+    # The measured worker-pool ratio CI diffs against its own baseline.
+    assert os.path.exists(os.path.join(
+        str(tmp_path), "BENCH_measured_backend.json"))
     assert elapsed < SMOKE_BUDGET_S, (
         f"--smoke took {elapsed:.1f} s (budget {SMOKE_BUDGET_S:.0f} s): "
         f"the event loop's per-event overhead has regressed")

@@ -262,3 +262,91 @@ def test_deterministic_queue_wait_formula():
     res = simulate_queue(arrivals, lambda _: service)
     for i, job in enumerate(res.served):
         assert job.wait_s == pytest.approx(i * (service - spacing))
+
+
+@pytest.mark.tier2
+def test_measured_service_times_match_kingman_gg1():
+    """M/G/1 with *measured* kernel service times: the simulated wait
+    lands on Kingman/Allen-Cunneen computed from the realized arrival
+    rate and the measured mean / cv².
+
+    This closes the loop the modeled tier-2 checks cannot: the service
+    process here is real numpy kernel wall-clock (via
+    ``MeasuredServerGroup`` on the event scheduler), so the test
+    validates that measured durations reconcile into event time as a
+    well-formed G/G/1 service process — with Poisson arrivals,
+    Pollaczek-Khinchine makes the Kingman form exact in expectation,
+    whatever distribution the host's timing noise produces.
+    """
+    from repro.datasets import wikipedia_like
+    from repro.graph import iter_fixed_size
+    from repro.models import ModelConfig, TGNN
+    from repro.serving import (EventScheduler, MeasuredBackend,
+                               MeasuredServerGroup, WorkerPool)
+    from repro.serving.events import _ARRIVAL
+
+    cfg = ModelConfig(memory_dim=8, time_dim=6, embed_dim=8, edge_dim=172,
+                      num_neighbors=4, simplified_attention=True,
+                      lut_time_encoder=True, lut_bins=8, pruning_budget=2)
+    g = wikipedia_like(num_edges=600, num_users=80, num_items=20)
+    model = TGNN(cfg, rng=np.random.default_rng(0))
+    model.calibrate(g)
+    model.prepare_inference()
+    batches = list(iter_fixed_size(g, 20))
+
+    # Calibration pass (also warms caches): place the target rho ~ 0.6.
+    warm = MeasuredBackend(model, g)
+    est = float(np.mean([warm.process_batch(b) for b in batches]))
+
+    def attempt(seed):
+        n = 6000
+        lam = 0.6 / est
+        rng = np.random.default_rng(seed)
+        t = np.cumsum(rng.exponential(1.0 / lam, size=n))
+
+        sched = EventScheduler()
+        group = MeasuredServerGroup(0, 1, MeasuredBackend(model, g),
+                                    WorkerPool(0), sched)
+
+        def on_arrival(ev):
+            group.submit(ev[0], ev[1])
+
+        for i, ti in enumerate(t):
+            sched.schedule(float(ti), _ARRIVAL,
+                           (float(ti), batches[i % len(batches)]),
+                           on_arrival)
+        sched.run()
+        res = group.finalize()
+        assert res.jobs == n
+
+        measured = np.array([s for s, _ in group.samples])
+        # A single OS descheduling stall (one sample ~50x the median)
+        # corrupts the whole run: the transient it queues up is exactly
+        # what a mean-field formula cannot describe.  Signal a retry
+        # rather than testing Kingman against a preempted process.
+        if float(measured.max()) > 50 * float(np.median(measured)):
+            return None
+        mean_s = float(measured.mean())
+        cs2 = float(measured.var() / mean_s ** 2)
+        lam_hat = (n - 1) / float(t[-1] - t[0])
+        assert lam_hat * mean_s < 1.0      # realized load stayed stable
+        want = kingman_ggc_mean_wait(lam_hat, 1.0 / mean_s, 1,
+                                     ca2=1.0, cs2=cs2)
+        return res.mean_wait_s, want
+
+    # Wall-clock service brings sampling noise and host timing drift, so
+    # one out-of-band attempt proves nothing — but a real reconciliation
+    # bug shifts *every* attempt, so three consistent misses fail.
+    clean = []
+    for seed in (2022, 2023, 2024):
+        got = attempt(seed)
+        if got is None:
+            continue
+        clean.append(got)
+        sim, want = got
+        if sim == pytest.approx(want, rel=0.40):
+            return
+    if not clean:
+        pytest.skip("host preempted the kernel timing in all attempts")
+    sim, want = clean[-1]
+    assert sim == pytest.approx(want, rel=0.40)
