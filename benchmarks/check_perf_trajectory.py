@@ -14,7 +14,12 @@ The same guard covers ``BENCH_measured_backend.json`` from
 ``benchmarks/baselines/measured_events_per_sec.json`` — there the ratio
 is the measured worker pool's event-time throughput at ``workers=4`` vs
 ``workers=1``, equally hardware-independent (lane arithmetic over
-measured durations, not wall-clock overlap).
+measured durations, not wall-clock overlap), and
+``BENCH_autoscale.json`` from ``test_autoscale_diurnal`` against
+``benchmarks/baselines/autoscale_server_seconds.json`` — there the
+ratio is static-peak server-seconds over autoscaled server-seconds on
+the deterministic diurnal workload, pure event-time arithmetic and so
+exactly reproducible.
 
 Other ``BENCH_*`` artifacts (e.g. ``BENCH_failover.json`` from the
 failure-injection sweep) carry no ``speedup_ratio``; pointing the guard

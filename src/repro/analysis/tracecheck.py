@@ -23,6 +23,10 @@ Checks (finding ``check`` values)
                           the current owner (double-ownership), a
                           self-migration, or a final assignment the
                           replayed log does not land on.
+``fleet-size``            a ScaleEvent whose ``servers_before`` is not
+                          the current fleet size, a step of more than
+                          one server, a shrink below one, or a final
+                          fleet the replayed log does not land on.
 ``conservation``          offered windows != served + dropped (report)
                           or != flushed (trace).
 ``same-key-order``        heap and vectorized lanes disagree on the
@@ -42,8 +46,8 @@ from typing import Any, Iterable, Sequence
 
 __all__ = ["TraceFinding", "TraceCheckReport", "check_causality",
            "check_service_exactly_once", "check_mail_at_flush",
-           "check_ownership_chain", "check_conservation",
-           "check_lane_agreement", "check_run"]
+           "check_ownership_chain", "check_fleet_size",
+           "check_conservation", "check_lane_agreement", "check_run"]
 
 # Service spans may abut exactly; anything closer than this is overlap.
 _OVERLAP_TOL = 1e-12
@@ -272,6 +276,59 @@ def check_ownership_chain(trace: Sequence[Any],
     return findings
 
 
+def check_fleet_size(trace: Sequence[Any], initial_servers: int,
+                     final_servers: int | None = None,
+                     ) -> list[TraceFinding]:
+    """Replay the scale log: the fleet changes one server at a time.
+
+    Each ``ScaleEvent`` must consume the current fleet size (the same
+    decision-to-application discipline as ``MigrationEvent`` ownership):
+    ``servers_before`` names the fleet it resizes, ``servers_after``
+    moves it by exactly one in the direction ``kind`` claims, and the
+    fleet never drops below one server.  When ``final_servers`` is given
+    the replay must land exactly on it (the live controller agrees with
+    its own log).
+    """
+    findings = []
+    fleet = int(initial_servers)
+    for event in trace:
+        if _kind(event) != "ScaleEvent":
+            continue
+        t = float(event.t)
+        before, after = int(event.servers_before), int(event.servers_after)
+        if event.kind not in ("up", "down"):
+            findings.append(TraceFinding(
+                "fleet-size", t,
+                f"ScaleEvent kind {event.kind!r} is neither 'up' nor "
+                f"'down' ({event.reason})"))
+            continue
+        step = 1 if event.kind == "up" else -1
+        if after != before + step:
+            findings.append(TraceFinding(
+                "fleet-size", t,
+                f"scale-{event.kind} moves the fleet {before} -> {after}: "
+                f"capacity must change one server at a time "
+                f"({event.reason})"))
+        if before != fleet:
+            findings.append(TraceFinding(
+                "fleet-size", t,
+                f"scale-{event.kind} expected a fleet of {before} but the "
+                f"replayed log stands at {fleet} ({event.reason}): stale "
+                f"decision applied"))
+        if after <= 0:
+            findings.append(TraceFinding(
+                "fleet-size", t,
+                f"scale-{event.kind} shrinks the fleet to {after}: a run "
+                f"needs at least one server ({event.reason})"))
+        fleet = after
+    if final_servers is not None and fleet != int(final_servers):
+        findings.append(TraceFinding(
+            "fleet-size", None,
+            f"replayed scale log lands on a fleet of {fleet} but the "
+            f"live controller reports {int(final_servers)}"))
+    return findings
+
+
 def check_conservation(num_arrivals: int, report: Any = None,
                        trace: Sequence[Any] | None = None,
                        ) -> list[TraceFinding]:
@@ -344,6 +401,8 @@ def check_run(trace: Sequence[Any] | None = None, report: Any = None,
               num_arrivals: int | None = None,
               initial_assignment: Sequence[int] | None = None,
               final_assignment: Sequence[int] | None = None,
+              initial_servers: int | None = None,
+              final_servers: int | None = None,
               heap_trace: Sequence[Any] | None = None,
               engine: Any = None) -> TraceCheckReport:
     """Run every applicable check over one recorded run.
@@ -363,6 +422,12 @@ def check_run(trace: Sequence[Any] | None = None, report: Any = None,
             router = getattr(engine, "router", None)
             if router is not None:
                 final_assignment = router.assignment
+        auto = getattr(engine, "autoscaler", None)
+        if auto is not None:
+            if initial_servers is None:
+                initial_servers = auto.initial_servers
+            if final_servers is None:
+                final_servers = auto.fleet_size
     if trace is None:
         raise ValueError("check_run needs a trace: run the engine with "
                          "trace=True (tracing is off by default — it "
@@ -377,6 +442,9 @@ def check_run(trace: Sequence[Any] | None = None, report: Any = None,
         checks.append("ownership-chain")
         findings += check_ownership_chain(trace, initial_assignment,
                                           final_assignment)
+    if initial_servers is not None:
+        checks.append("fleet-size")
+        findings += check_fleet_size(trace, initial_servers, final_servers)
     if num_arrivals is not None:
         checks.append("conservation")
         findings += check_conservation(num_arrivals, report=report,

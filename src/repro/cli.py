@@ -22,6 +22,10 @@ Commands
             online rebalancing (``--rebalance-online`` with
             ``--rebalance-threshold`` / ``--rebalance-window``: mid-run
             `MigrationEvent` ownership changes with priced state handoff),
+            SLO-driven autoscaling (``--autoscale --slo-p95`` with
+            ``--scale-window`` / ``--max-servers``: mid-run `ScaleEvent`
+            fleet resizing — pool replicas spin up/down, shards
+            split/merge with priced handoff),
             and per-shard queueing statistics; ``--json`` writes a
             canonical (byte-stable) report, and ``--ingest serial``
             without the rebalance flags is byte-identical to the
@@ -174,6 +178,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="online rebalancing: measurement window in served "
                         "(event-loop) seconds; default is one workload "
                         "window, --window-s / --speedup")
+    v.add_argument("--autoscale", action="store_true",
+                   help="run the AutoScaler on the event loop: watch "
+                        "windowed p95 response latency against --slo-p95 "
+                        "and resize the fleet mid-run via ScaleEvents — "
+                        "pool replicas spin up/down in place; sharded "
+                        "shards split/merge ownership across a "
+                        "--max-servers-slot fleet with priced state "
+                        "handoff (requires --placement hash)")
+    v.add_argument("--slo-p95", type=float, default=None, metavar="SECONDS",
+                   help="autoscale: the SLO band's upper edge in event-"
+                        "loop seconds (window p95 above it scales up; "
+                        "p95 at or below half of it scales down)")
+    v.add_argument("--scale-window", type=float, default=None,
+                   metavar="SECONDS",
+                   help="autoscale: measurement window in event-loop "
+                        "seconds; default is one workload window, "
+                        "--window-s / --speedup")
+    v.add_argument("--max-servers", type=int, default=None,
+                   help="autoscale: fleet-size ceiling (default twice the "
+                        "initial fleet)")
     v.add_argument("--replicate-top-k", type=int, default=8,
                    help="replicate: how many read-mostly hot vertices to "
                         "replicate")
@@ -396,9 +420,10 @@ def cmd_serve_sim(args, out=print) -> int:
             f"processes)")
         return 2
     if args.workers and args.backend != "measured":
-        out(f"note: --workers is ignored with the modeled "
-            f"{args.backend} backend (only --backend measured runs a "
-            f"worker pool)")
+        out(f"error: --workers requires --backend measured (the modeled "
+            f"{args.backend} backend prices batches without executing "
+            f"them, so there is no worker pool to size)")
+        return 2
     fpga_design = None
     if args.backend in ("u200", "zcu104"):
         from .hw import U200_DESIGN, ZCU104_DESIGN
@@ -406,7 +431,7 @@ def cmd_serve_sim(args, out=print) -> int:
             else ZCU104_DESIGN
 
     def build_engine(placement=None, die_of=None, rebalancer=None,
-                     failures=None):
+                     failures=None, autoscaler=None, num_shards=None):
         # Price cross-shard mailbox traffic at the SLR-crossing latency of
         # the simulated part (single-die parts get an all-zero penalty;
         # pool replicas forward nothing, so no penalty applies there).
@@ -417,6 +442,8 @@ def cmd_serve_sim(args, out=print) -> int:
             kwargs["rebalancer"] = rebalancer
         if failures is not None:
             kwargs["failures"] = failures
+        if autoscaler is not None:
+            kwargs["autoscaler"] = autoscaler
         if args.topology in ("sharded", "hybrid"):
             kwargs["memsync"] = args.memsync
         if args.topology == "hybrid":
@@ -432,7 +459,8 @@ def cmd_serve_sim(args, out=print) -> int:
         if args.backend == "measured":
             kwargs["workers"] = args.workers
         return ServingEngine.from_registry(
-            args.backend, model, graph, num_shards=args.shards,
+            args.backend, model, graph,
+            num_shards=args.shards if num_shards is None else num_shards,
             registry=DEFAULT_REGISTRY, backend_kwargs=backend_kwargs,
             batcher=batcher, topology=args.topology, **kwargs)
 
@@ -459,7 +487,11 @@ def cmd_serve_sim(args, out=print) -> int:
                                           and not placement.replicas)
         if unchanged:
             from .hw import plan_shard_dies
-            return plan_shard_dies(args.shards, dies)
+            # The placement's own shard count covers elastic fleets too:
+            # a padded autoscale layout needs a die for every station the
+            # controller may ever activate.
+            return plan_shard_dies(placement.num_shards if placement
+                                   is not None else args.shards, dies)
         # The policy moved/replicated vertices, so the expected mailbox
         # traffic matrix changed: re-plan the shard -> die assignment
         # against the *new* traffic so die crossings are priced correctly.
@@ -539,6 +571,79 @@ def cmd_serve_sim(args, out=print) -> int:
                                 recover_at=args.recover_at,
                                 degradation=args.fail_degradation)
 
+    make_autoscaler = None
+    engine_shards = None
+    if args.autoscale:
+        from .serving import (AutoScaler, CapacityConfig,
+                              padded_hash_placement)
+        if args.backend == "measured":
+            out("error: --autoscale requires a modeled backend (a "
+                "measured worker lane cannot be created mid-run)")
+            return 2
+        if args.topology == "hybrid":
+            out("error: --autoscale does not apply to the hybrid "
+                "topology (the pool pseudo-shard and the dedicated "
+                "shards would need separate controllers)")
+            return 2
+        if rebal_kwargs is not None:
+            out("error: --autoscale cannot be combined with "
+                "--rebalance-online (both migrate ownership from "
+                "windowed measurements and would race each other's "
+                "consistency checks)")
+            return 2
+        if plans is not None:
+            out("error: --autoscale cannot be combined with --fail-at "
+                "(a failover changes ownership and fleet health "
+                "underneath the scaler's decisions)")
+            return 2
+        if args.slo_p95 is None:
+            out("error: --autoscale requires --slo-p95 (the SLO the "
+                "controller scales against)")
+            return 2
+        if args.topology == "sharded" and args.placement != "hash":
+            out(f"error: --autoscale requires --placement hash on the "
+                f"sharded topology (splits and merges need an "
+                f"unreplicated hash layout; {args.placement} would put "
+                f"replicas or profiled moves underneath the controller)")
+            return 2
+        initial = (args.pool_servers or args.shards) \
+            if args.topology == "pool" else args.shards
+        max_servers = args.max_servers if args.max_servers is not None \
+            else 2 * initial
+        if max_servers < initial:
+            out(f"error: --max-servers {max_servers} is below the "
+                f"initial fleet of {initial}")
+            return 2
+        scale_window = args.scale_window \
+            if args.scale_window is not None \
+            else args.window_s / args.speedup
+        capacity = CapacityConfig(micro_batch=args.batch_edges or 1,
+                                  replicas=initial,
+                                  max_replicas=max_servers)
+
+        def make_autoscaler():
+            # Fresh controller per engine build (same discipline as the
+            # rebalancer in the --profile lanes).
+            return AutoScaler(capacity, slo_p95_s=args.slo_p95,
+                              scale_window_s=scale_window)
+
+        if args.topology == "sharded":
+            # The elastic fleet is a max-servers-slot station array: the
+            # hash layout covers the active prefix, the padded tail owns
+            # nothing until a split activates it.
+            engine_shards = max_servers
+            placement = padded_hash_placement(graph.num_nodes,
+                                              args.shards, max_servers)
+    else:
+        scale_flags = [name for name, value in
+                       (("--slo-p95", args.slo_p95),
+                        ("--scale-window", args.scale_window),
+                        ("--max-servers", args.max_servers))
+                       if value is not None]
+        if scale_flags:
+            out(f"error: {', '.join(scale_flags)} require(s) --autoscale")
+            return 2
+
     if args.profile:
         # Two independent replays of the identical workload — fresh
         # engine, placement, and rebalancer per lane so neither warm
@@ -555,7 +660,10 @@ def cmd_serve_sim(args, out=print) -> int:
             reb = OnlineRebalancer(**rebal_kwargs) \
                 if rebal_kwargs is not None else None
             eng = build_engine(placement=pl, die_of=plan_dies(pl),
-                               rebalancer=reb, failures=plans)
+                               rebalancer=reb, failures=plans,
+                               autoscaler=make_autoscaler()
+                               if make_autoscaler is not None else None,
+                               num_shards=engine_shards)
             initial = eng.router.assignment.copy()
             rep = run(eng, scheduler_cls=scheduler_cls)
             s = eng.last_scheduler
@@ -597,7 +705,10 @@ def cmd_serve_sim(args, out=print) -> int:
             if rebal_kwargs is not None else None
         engine = build_engine(placement=placement,
                               die_of=plan_dies(placement),
-                              rebalancer=rebalancer, failures=plans)
+                              rebalancer=rebalancer, failures=plans,
+                              autoscaler=make_autoscaler()
+                              if make_autoscaler is not None else None,
+                              num_shards=engine_shards)
         initial_owner = engine.router.assignment.copy()
         report = run(engine)
         heap_trace = None
@@ -667,6 +778,15 @@ def cmd_serve_sim(args, out=print) -> int:
             f"{m['workers']} worker lane(s), mean service "
             f"{m['mean_s'] * 1e3:.3f} ms (cv2 {m['cv2']:.2f})"
             f"{modeled_tag}")
+    if report.scaling is not None:
+        sc = report.scaling
+        rows_tag = f", {sc['handoff_rows']} split/merge rows" \
+            if sc["handoff_rows"] else ""
+        out(f"autoscale slo-p95 {sc['slo_p95_s'] * 1e3:.3f} ms: "
+            f"{sc['scale_ups']} up / {sc['scale_downs']} down, fleet "
+            f"{sc['initial_servers']} -> {sc['final_servers']} "
+            f"(peak {sc['peak_servers']}, mean {sc['mean_servers']:.2f}), "
+            f"{sc['server_seconds']:.1f} server-seconds{rows_tag}")
     if args.json:
         with open(args.json, "w") as f:
             f.write(report.to_json() + "\n")

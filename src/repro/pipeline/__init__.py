@@ -29,6 +29,19 @@ Every replay/queueing entry point here — and the sharded serving layer in
     into deterministic event time (:mod:`repro.serving.measured`).
     Modeled backends simply omit the attribute.
 
+Capacity contract
+-----------------
+How many backend instances serve at once is a *fleet* property, not a
+backend one: :class:`repro.serving.CapacityConfig` fixes the invariant
+``micro_batch × replicas == global_capacity`` at construction (the
+``BatchConfig`` idiom), and the serving engine's autoscaler resizes
+``replicas`` within ``[min_replicas, max_replicas]`` mid-run without
+ever changing a backend's per-call contract — each instance still sees
+stream-ordered ``process_batch`` calls for the vertices it currently
+owns.  Backends therefore never need to know the fleet is elastic;
+state that must follow ownership moves travels through the memsync
+version cache, not through the backend.
+
 New backends need no registration to work with these functions; to be
 constructible by name (per serving shard, from the CLI), add a factory to
 :class:`repro.serving.BackendRegistry`.

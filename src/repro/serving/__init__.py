@@ -48,7 +48,8 @@ Actors on the scheduler
   and coherence components the router drives, in release order.
 
 Typed events: ``ArrivalEvent``, ``FlushEvent``, ``ServiceBeginEvent``,
-``ServiceEndEvent``, ``MailEvent``, ``SyncEvent``, ``MigrationEvent``.  At
+``ServiceEndEvent``, ``MailEvent``, ``SyncEvent``, ``MigrationEvent``,
+``ScaleEvent``.  At
 equal timestamps events fire in a fixed priority order (ends → dispatches
 → migrations → flushes → arrivals), so runs are exactly reproducible; the
 scheduler enforces global timestamp monotonicity, and the conservation
@@ -187,6 +188,37 @@ to the unsharded runtime (the exactness suite in ``test_failover``).
 a run with chaos off omits every chaos key from the JSON report, so the
 golden reports of earlier revisions stay byte-identical.
 
+Elastic capacity
+----------------
+Rebalancing and failover act on a *fixed* fleet; production serving
+resizes the fleet against traffic.  The :class:`AutoScaler`
+(:mod:`repro.serving.autoscale`) is the control plane: it observes the
+windowed p95 response latency of completed jobs against an SLO band
+(breach above ``slo_p95_s`` scales up; slack below ``low_band_frac *
+slo_p95_s`` scales down — hysteresis plus a decision cooldown prevent
+ping-pong) and schedules :class:`ScaleEvent`\\ s at migration priority on
+the same event core.  :class:`CapacityConfig` gives the controller its
+units, BatchConfig-style: ``micro_batch × replicas = global_capacity``
+is validated at construction, together with the fleet bounds and the
+cold-start price.  On the pool topology, replicas spin up cold
+(:meth:`ServerGroup.scale_up` — the newcomer's first job begins no
+earlier than ``t + cold_start_s``) and spin down on drain
+(:meth:`ServerGroup.scale_down` — a busy victim finishes its committed
+job before leaving; server ids are never reused).  On the sharded
+topology, the fleet is a ``max_replicas``-slot station array laid out by
+:func:`padded_hash_placement`; scale-up **splits** the hottest shard's
+measured-hot vertices into the next inactive slot, scale-down **merges**
+the highest active slot onto the coolest survivor — both as ordinary
+:class:`MigrationEvent` chains (reasons ``"split"``/``"merge"``, rows
+priced via ``mail_hop_s``) with :class:`VersionedMemoryCache` ownership
+transfer, so post-split ``push`` replays stay bit-identical and the
+tracecheck ownership replay stays exactly-once.  The report gains a
+``scaling`` block (scale events, peak/mean fleet, the server-seconds
+integral the diurnal bench compares against static peak provisioning;
+omitted when off, so earlier goldens stand), tracecheck replays the
+scale log as a ``fleet-size`` chain, and ``serve-sim --autoscale
+--slo-p95 --scale-window --max-servers`` drives it.
+
 Correctness tooling
 -------------------
 The exactness contracts above are conventions; :mod:`repro.analysis`
@@ -219,6 +251,7 @@ Both halves block CI (the ``lint`` job runs ahead of tier-1, together
 with the ruff/mypy baseline in pyproject.toml).
 """
 
+from .autoscale import AutoScaler, CapacityConfig  # noqa: F401
 from .batcher import CoalescedJob, DynamicBatcher, StreamArrival  # noqa: F401
 from .engine import (FailureInjector, ServingEngine,  # noqa: F401
                      ServingReport, ShardStats, make_stream_arrivals)
@@ -226,8 +259,8 @@ from .events import (INGEST_MODES, ArrivalEvent, BatcherActor,  # noqa: F401
                      EventScheduler, FailureEvent, FailurePlan,
                      FlushEvent, HeapEventScheduler, MailEvent,
                      MigrationEvent, RecoveryEvent, RouterActor,
-                     ServerGroup, ServiceBeginEvent, ServiceEndEvent,
-                     Submission, SyncEvent)
+                     ScaleEvent, ServerGroup, ServiceBeginEvent,
+                     ServiceEndEvent, Submission, SyncEvent)
 from .measured import (KernelTimer, MeasuredBackend,  # noqa: F401
                        MeasuredServerGroup, WorkerPool, timed_kernel)
 from .memsync import (MEMSYNC_POLICIES, ShardedRuntime,  # noqa: F401
@@ -238,7 +271,7 @@ from .placement import (PLACEMENT_POLICIES, HotColdHybrid,  # noqa: F401
                         LoadAwareRebalance, Placement, PlacementPolicy,
                         ReplicatedReadMostly, StaticHashPlacement,
                         VertexHeat, hash_assignment, make_policy,
-                        replica_shards_from_traffic)
+                        padded_hash_placement, replica_shards_from_traffic)
 from .registry import DEFAULT_REGISTRY, BackendRegistry  # noqa: F401
 from .router import CrossShardMailbox, ShardBatch, ShardRouter  # noqa: F401
 from .simulator import (ServedJob, SimulationResult,  # noqa: F401
@@ -252,11 +285,13 @@ __all__ = [
     "EventScheduler", "HeapEventScheduler", "ServerGroup", "BatcherActor",
     "RouterActor", "Submission", "INGEST_MODES",
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
-    "MailEvent", "SyncEvent", "MigrationEvent",
+    "MailEvent", "SyncEvent", "MigrationEvent", "ScaleEvent",
     "FailureEvent", "RecoveryEvent", "FailurePlan", "FailureInjector",
     "OnlineRebalancer", "HANDOFF_ROWS_PER_VERTEX",
+    "AutoScaler", "CapacityConfig",
     "BackendRegistry", "DEFAULT_REGISTRY",
     "Placement", "PlacementPolicy", "VertexHeat", "hash_assignment",
+    "padded_hash_placement",
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
     "HotColdHybrid", "PLACEMENT_POLICIES", "make_policy",
     "replica_shards_from_traffic",

@@ -1,0 +1,423 @@
+"""SLO-driven elastic capacity: resize the serving fleet mid-run.
+
+Rebalancing (:mod:`repro.serving.rebalance`) moves load across a *fixed*
+fleet; production serving resizes the fleet itself.  This module is the
+control plane for that: an :class:`AutoScaler` actor observes windowed
+p95 response latency against an SLO band and schedules
+:class:`~repro.serving.events.ScaleEvent`\\ s on the same discrete-event
+scheduler every other actor runs on — a capacity change is just another
+event, applied at ``_MIGRATE`` priority so a decision made at ``t``
+takes effect before the next same-instant flush routes.
+
+Two fleet shapes, one controller
+--------------------------------
+*Pool* (``bind(router=None)``): the K stateless replicas behind the
+shared queue grow and shrink through
+:meth:`~repro.serving.events.ServerGroup.scale_up` /
+:meth:`~repro.serving.events.ServerGroup.scale_down`.  A new replica is
+born *cold* — free only at ``t + cold_start_s`` — so the group's
+ordinary ``max(freed_at, t_arrive)`` dispatch rule prices the warm-up;
+a retired replica drains its committed job before leaving.
+
+*Sharded* (``bind(router=...)``): the fleet is a fixed array of
+``CapacityConfig.max_replicas`` one-server shard stations of which the
+first ``fleet_size`` are *active* (stack discipline — the active set is
+always ``[0, fleet_size)``).  A scale-up activates the next station and
+**splits** the hottest active shard's measured-hot vertices into it; a
+scale-down **merges** the highest active shard's vertices onto the
+coolest survivor.  Both ride the existing
+:class:`~repro.serving.events.MigrationEvent` machinery (reasons
+``"split"`` / ``"merge"``, :data:`HANDOFF_ROWS_PER_VERTEX` rows per
+vertex priced through ``mail_hop_s``), and ownership moves through
+:meth:`VersionedMemoryCache.transfer_ownership` so version counters
+stay exact across the change — post-split ``--memsync push`` replays
+stay bit-identical to the unsharded runtime, exactly as they do across
+a rebalancer migration.  A merged-away shard owns nothing, so the
+router never sends it another sub-job.
+
+Capacity accounting follows the BatchConfig idiom:
+:class:`CapacityConfig` validates ``micro_batch x replicas =
+global_capacity`` at construction, and the controller's fleet bounds
+(``min_replicas`` / ``max_replicas``) and cold-start price live there
+too.  The SLO band has hysteresis built in: scale up when window p95
+exceeds ``slo_p95_s``, scale down only when it falls to
+``low_band_frac * slo_p95_s`` or below — plus a post-decision cooldown,
+the same anti-ping-pong guards the rebalancer uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .events import (_MIGRATE, EventScheduler, MigrationEvent, ScaleEvent,
+                     ServerGroup)
+from .rebalance import HANDOFF_ROWS_PER_VERTEX
+
+__all__ = ["AutoScaler", "CapacityConfig"]
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Fleet capacity in controller units, validated at construction.
+
+    The BatchConfig identity: ``micro_batch x replicas ==
+    global_capacity``.  ``micro_batch`` is the edges one server admits
+    per dispatch (the batcher's size trigger, or 1 for passthrough);
+    ``replicas`` is the *initial* fleet size, bounded by
+    ``min_replicas``/``max_replicas`` for the life of the run.  Passing
+    ``global_capacity`` explicitly asserts the identity (a mismatch is a
+    configuration bug, caught here, not a runtime surprise); omitting it
+    derives it.
+
+    ``cold_start_s`` prices a pool replica's warm-up: a scaled-up server
+    accepts work immediately but begins its first job no earlier than
+    ``t_scale + cold_start_s``.
+    """
+
+    micro_batch: int
+    replicas: int
+    max_replicas: int
+    min_replicas: int = 1
+    cold_start_s: float = 0.0
+    global_capacity: int | None = None
+
+    def __post_init__(self):
+        if self.micro_batch <= 0:
+            raise ValueError("micro_batch must be positive")
+        if self.min_replicas <= 0:
+            raise ValueError("min_replicas must be positive")
+        if not self.min_replicas <= self.replicas <= self.max_replicas:
+            raise ValueError(
+                f"replicas must satisfy min_replicas <= replicas <= "
+                f"max_replicas, got {self.min_replicas} / {self.replicas} "
+                f"/ {self.max_replicas}")
+        if self.cold_start_s < 0:
+            raise ValueError("cold_start_s must be non-negative")
+        derived = self.micro_batch * self.replicas
+        if self.global_capacity is None:
+            object.__setattr__(self, "global_capacity", derived)
+        elif self.global_capacity != derived:
+            raise ValueError(
+                f"global_capacity must equal micro_batch x replicas "
+                f"({self.micro_batch} x {self.replicas} = {derived}), "
+                f"got {self.global_capacity}")
+
+    def capacity_at(self, replicas: int) -> int:
+        """Global capacity of a fleet resized to ``replicas`` servers."""
+        if not self.min_replicas <= replicas <= self.max_replicas:
+            raise ValueError(f"replicas {replicas} outside "
+                             f"[{self.min_replicas}, {self.max_replicas}]")
+        return self.micro_batch * replicas
+
+
+class AutoScaler:
+    """Watches windowed p95 latency against an SLO; resizes the fleet.
+
+    Construct once with the policy knobs; the engine calls :meth:`bind`
+    at the start of every run (resetting all per-run state), wires
+    :meth:`record_response` to every group's ``on_serviced`` hook, and
+    calls :meth:`observe` for every released job.  Decisions are
+    scheduled as :class:`~repro.serving.events.ScaleEvent`\\ s (plus
+    ``"split"`` / ``"merge"``
+    :class:`~repro.serving.events.MigrationEvent`\\ s in sharded mode)
+    and applied by this actor when they fire; ``on_migrate`` (wired by
+    the engine) prices the handoff rows.
+
+    Parameters
+    ----------
+    capacity:
+        The fleet's :class:`CapacityConfig` — initial size, bounds,
+        cold-start price, micro-batch units.
+    slo_p95_s:
+        The SLO: window p95 response above this scales up (one server
+        per decision).
+    scale_window_s:
+        Rolling measurement window in event-loop seconds.  Only
+        responses *completed* inside the window feed the percentile —
+        the controller never peeks at in-flight futures.
+    low_band_frac:
+        The band's lower edge as a fraction of ``slo_p95_s``: p95 at or
+        below ``low_band_frac * slo_p95_s`` scales down.  The gap
+        between the edges is the hysteresis dead band.
+    cooldown_windows:
+        After any scale decision, this many windows must close before
+        the next decision — capacity changes need a window of settled
+        measurements before they can be judged.
+    """
+
+    def __init__(self, capacity: CapacityConfig, slo_p95_s: float,
+                 scale_window_s: float, low_band_frac: float = 0.5,
+                 cooldown_windows: int = 1):
+        if not isinstance(capacity, CapacityConfig):
+            raise TypeError(f"capacity must be a CapacityConfig, "
+                            f"got {type(capacity).__name__}")
+        if slo_p95_s <= 0:
+            raise ValueError("slo_p95_s must be positive")
+        if scale_window_s <= 0:
+            raise ValueError("scale_window_s must be positive")
+        if not 0.0 <= low_band_frac < 1.0:
+            raise ValueError("low_band_frac must be in [0, 1)")
+        if cooldown_windows < 0:
+            raise ValueError("cooldown_windows must be non-negative")
+        self.capacity = capacity
+        self.slo_p95_s = float(slo_p95_s)
+        self.scale_window_s = float(scale_window_s)
+        self.low_band_frac = float(low_band_frac)
+        self.cooldown_windows = int(cooldown_windows)
+        self._bound = False
+
+    # ------------------------------------------------------------------ #
+    def bind(self, sched: EventScheduler, groups: Sequence[ServerGroup],
+             router=None, cache=None,
+             on_migrate: Callable[[MigrationEvent], None] | None = None
+             ) -> None:
+        """Attach to one run, resetting all per-run state.
+
+        ``router=None`` selects pool mode (one K-server group, resized
+        in place); a router selects sharded mode (``max_replicas``
+        one-server stations, resized by ownership splits/merges).
+        ``cache`` is the run's memsync cache; ``on_migrate`` the
+        engine's handoff-pricing hook.
+        """
+        groups = list(groups)
+        if router is None:
+            if len(groups) != 1:
+                raise ValueError("pool-mode autoscaling takes exactly one "
+                                 "K-server group")
+            if groups[0].num_servers != self.capacity.replicas:
+                raise ValueError(
+                    f"pool group has {groups[0].num_servers} servers but "
+                    f"capacity.replicas is {self.capacity.replicas}")
+        else:
+            if len(groups) != self.capacity.max_replicas:
+                raise ValueError(
+                    f"sharded autoscaling needs one station per fleet "
+                    f"slot: {self.capacity.max_replicas} groups, got "
+                    f"{len(groups)}")
+            if router.placement.replicas:
+                raise ValueError(
+                    "sharded autoscaling requires an unreplicated "
+                    "placement: a replica on a merged-away shard would "
+                    "keep receiving its vertices' mail")
+            if len(router.assignment) and \
+                    int(router.assignment.max()) >= self.capacity.replicas:
+                raise ValueError(
+                    "initial assignment references a shard outside the "
+                    "initial active set [0, capacity.replicas)")
+        self._sched = sched
+        self._groups = groups
+        self._router = router
+        self._cache = cache
+        self._on_migrate = on_migrate
+        self.initial_servers = self.capacity.replicas
+        self.fleet_size = self.capacity.replicas
+        self._pending: list[tuple[float, float]] = []   # (finish, response)
+        self._window_start: float | None = None
+        self._window_index = 0
+        self._cooldown_until = 0
+        self.scale_log: list[ScaleEvent] = []
+        self.migration_log: list[MigrationEvent] = []
+        self.handoff_rows = 0
+        if router is not None:
+            self._heat = np.zeros(router.num_nodes, dtype=np.int64)
+            self._busy_mark = np.zeros(len(groups))
+        self._bound = True
+
+    @property
+    def scale_ups(self) -> int:
+        return len([ev for ev in self.scale_log if ev.kind == "up"])
+
+    @property
+    def scale_downs(self) -> int:
+        return len([ev for ev in self.scale_log if ev.kind == "down"])
+
+    # ------------------------------------------------------------------ #
+    def record_response(self, t_finish: float, response_s: float) -> None:
+        """Latency feed, wired to the groups' ``on_serviced`` hook.
+
+        Samples are recorded at commit time but carry their finish
+        instant; a window's percentile only sees responses that have
+        actually completed by the window close.
+        """
+        self._pending.append((float(t_finish), float(response_s)))
+
+    def observe(self, t: float, batch=None) -> None:
+        """Account one released job; evaluate the band at window close."""
+        if not self._bound:
+            raise RuntimeError("bind() the autoscaler to a run first")
+        if self._window_start is None:
+            self._open_window(t)
+        if self._router is not None and batch is not None:
+            np.add.at(self._heat, batch.src, 1)
+            np.add.at(self._heat, batch.dst, 1)
+        if t - self._window_start >= self.scale_window_s:
+            self._evaluate(t)
+            self._window_index += 1
+            self._open_window(t)
+
+    def _open_window(self, t: float) -> None:
+        self._window_start = t
+        if self._router is not None:
+            self._heat[:] = 0
+            self._busy_mark = np.array([g.busy_s for g in self._groups])
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, t: float) -> None:
+        done = [r for f, r in self._pending if f <= t]
+        self._pending = [(f, r) for f, r in self._pending if f > t]
+        if not done:
+            return          # nothing completed: no evidence either way
+        if self._window_index < self._cooldown_until:
+            return          # inside the post-decision cooldown
+        p95 = float(np.percentile(np.sort(np.asarray(done)), 95))
+        if p95 > self.slo_p95_s \
+                and self.fleet_size < self.capacity.max_replicas:
+            self._scale(t, "up", "slo-breach")
+        elif p95 <= self.low_band_frac * self.slo_p95_s \
+                and self.fleet_size > self.capacity.min_replicas:
+            self._scale(t, "down", "slo-slack")
+
+    def _window_util(self, t: float) -> np.ndarray:
+        """Per-station utilization over the closing window."""
+        span = max(t - self._window_start, 0.0)
+        if span <= 0:
+            return np.zeros(len(self._groups))
+        busy = np.array([g.busy_s for g in self._groups]) - self._busy_mark
+        return busy / span
+
+    def _scale(self, t: float, kind: str, reason: str) -> None:
+        moves: list[tuple[int, int, int]] = []      # (vertex, from, to)
+        if self._router is None:
+            shard = self._groups[0].gid
+        elif kind == "up":
+            shard = self.fleet_size                  # activate next slot
+            moves = self._plan_split(t, shard)
+        else:
+            shard = self.fleet_size - 1              # drain highest slot
+            moves = self._plan_merge(t, shard)
+        rows = len(moves) * HANDOFF_ROWS_PER_VERTEX
+        after = self.fleet_size + (1 if kind == "up" else -1)
+        ev = ScaleEvent(t=t, kind=kind, shard=int(shard),
+                        servers_before=self.fleet_size, servers_after=after,
+                        rows=rows, reason=reason)
+        # The ScaleEvent is scheduled first, the split/merge migrations
+        # after it at the same (t, _MIGRATE) key: seq order guarantees
+        # the fleet-size change lands before the ownership moves, and
+        # all of it before the next same-instant flush routes.
+        self._sched.schedule(t, _MIGRATE, ev, self._apply_scale)
+        self.scale_log.append(ev)
+        for v, frm, to in moves:
+            mev = MigrationEvent(t=t, vertex=int(v), from_shard=int(frm),
+                                 to_shard=int(to),
+                                 rows=HANDOFF_ROWS_PER_VERTEX,
+                                 reason="split" if kind == "up" else "merge")
+            self._sched.schedule(t, _MIGRATE, mev, self._apply_migration)
+            self.migration_log.append(mev)
+        self._cooldown_until = self._window_index + 1 + self.cooldown_windows
+
+    def _plan_split(self, t: float, target: int) -> list[tuple[int, int, int]]:
+        """Donor = hottest active station by window utilization; move the
+        hotter half of its measured-hot vertices onto the new station
+        (heat descending, vertex id breaking ties — deterministic)."""
+        util = self._window_util(t)[:self.fleet_size]
+        donor = int(np.argmax(util))
+        assignment = self._router.assignment
+        owned = np.flatnonzero(assignment == donor)
+        hot = owned[self._heat[owned] > 0]
+        if len(hot):
+            order = np.lexsort((hot, -self._heat[hot]))
+            chosen = hot[order][:(len(hot) + 1) // 2]
+        else:
+            # No measured heat this window: split the ownership evenly by
+            # id so the new station still takes half the future load.
+            chosen = owned[:(len(owned) + 1) // 2]
+        return [(int(v), donor, target) for v in chosen]
+
+    def _plan_merge(self, t: float, drained: int) -> list[tuple[int, int, int]]:
+        """Move everything the drained station owns onto the coolest
+        surviving active station (utilization ascending, id breaking
+        ties).  Owning nothing, the drained station never receives
+        another sub-job from the router's split."""
+        util = self._window_util(t)[:drained]
+        target = int(np.argmin(util))
+        owned = np.flatnonzero(self._router.assignment == drained)
+        return [(int(v), drained, target) for v in owned]
+
+    # ------------------------------------------------------------------ #
+    def _apply_scale(self, ev: ScaleEvent) -> None:
+        if ev.servers_before != self.fleet_size:
+            raise RuntimeError(
+                f"scale event expected a fleet of {ev.servers_before} but "
+                f"found {self.fleet_size}: fleet size changed between "
+                f"decision and application")
+        self.fleet_size = ev.servers_after
+        if self._router is None:
+            if ev.kind == "up":
+                self._groups[0].scale_up(ev.t, self.capacity.cold_start_s)
+            else:
+                self._groups[0].scale_down(ev.t)
+        # Sharded stations are fixed one-server groups: activation and
+        # drain are purely ownership matters, applied by the split/merge
+        # MigrationEvents scheduled right behind this event.
+
+    def _apply_migration(self, ev: MigrationEvent) -> None:
+        """Identical contract to the rebalancer's apply: consume the
+        current owner, transfer coherence ownership, price the rows."""
+        owner = int(self._router.assignment[ev.vertex])
+        if owner != ev.from_shard:
+            raise RuntimeError(
+                f"split/merge of vertex {ev.vertex} expected owner "
+                f"{ev.from_shard} but found {owner}: ownership changed "
+                f"between decision and application")
+        self._router.migrate([ev.vertex], ev.to_shard)
+        if self._cache is not None:
+            self._cache.transfer_ownership([ev.vertex], [ev.from_shard],
+                                           ev.to_shard)
+        self.handoff_rows += ev.rows
+        if self._on_migrate is not None:
+            self._on_migrate(ev)
+
+    # ------------------------------------------------------------------ #
+    def report_block(self, t0: float, makespan_s: float) -> dict:
+        """The ``ServingReport.scaling`` block for one finished run.
+
+        ``server_seconds`` is the piecewise-constant integral of the
+        active fleet size over ``[t0, t0 + makespan_s]`` replayed from
+        the scale log (stable loop accumulation, in event order) — the
+        quantity the diurnal bench compares against static peak
+        provisioning (``peak_servers * makespan``).
+        """
+        end = t0 + makespan_s
+        fleet = self.initial_servers
+        peak = fleet
+        prev_t = t0
+        server_seconds = 0.0
+        for ev in self.scale_log:
+            cut = min(max(float(ev.t), t0), end)
+            server_seconds += fleet * (cut - prev_t)
+            prev_t = cut
+            fleet = ev.servers_after
+            peak = max(peak, fleet)
+        server_seconds += fleet * max(end - prev_t, 0.0)
+        mean = server_seconds / makespan_s if makespan_s > 0 \
+            else float(fleet)
+        return {"autoscale": "slo-p95",
+                "slo_p95_s": self.slo_p95_s,
+                "scale_window_s": self.scale_window_s,
+                "low_band_frac": self.low_band_frac,
+                "micro_batch": self.capacity.micro_batch,
+                "global_capacity": self.capacity.global_capacity,
+                "cold_start_s": self.capacity.cold_start_s,
+                "min_servers": self.capacity.min_replicas,
+                "max_servers": self.capacity.max_replicas,
+                "initial_servers": self.initial_servers,
+                "final_servers": self.fleet_size,
+                "peak_servers": peak,
+                "mean_servers": mean,
+                "server_seconds": server_seconds,
+                "scale_ups": self.scale_ups,
+                "scale_downs": self.scale_downs,
+                "handoff_rows": self.handoff_rows}

@@ -173,6 +173,9 @@ class ServingReport:
     outage_p99_response_s: float = 0.0  # p99 over those windows
     measured: dict | None = None  # measured-backend block (mean/cv²/
                                   # per-shard split); None on modeled runs
+    scaling: dict | None = None   # autoscale block (scale events, fleet
+                                  # peak/mean, server-seconds); None when
+                                  # the fleet was static
 
     @property
     def stable(self) -> bool:
@@ -237,6 +240,10 @@ class ServingReport:
             # Modeled runs keep the historical schema byte-for-byte; only
             # measured-backend runs add the block.
             del d["measured"]
+        if d["scaling"] is None:
+            # Static-fleet runs keep the historical schema byte-for-byte;
+            # only autoscaled runs add the block.
+            del d["scaling"]
         return d
 
     def to_json(self) -> str:
@@ -535,6 +542,23 @@ class ServingEngine:
         (keys omitted when off).  Mutually exclusive with ``rebalancer``:
         a failover would invalidate the rebalancer's in-flight
         decision-to-application ownership check.
+    autoscaler:
+        An :class:`~repro.serving.autoscale.AutoScaler` to run on the
+        event loop: it watches windowed p95 response latency against an
+        SLO band and resizes the fleet mid-run via
+        :class:`~repro.serving.events.ScaleEvent`.  Pool topology grows
+        and shrinks the replica group in place (cold starts priced by
+        delayed first availability); sharded topology splits/merges
+        ownership across a ``capacity.max_replicas``-slot fleet through
+        :class:`~repro.serving.events.MigrationEvent` handoffs, priced
+        through ``mail_hop_s`` exactly like rebalancer migrations (build
+        the layout with
+        :func:`~repro.serving.placement.padded_hash_placement`).  The
+        report gains a ``scaling`` block (key omitted when off).
+        Mutually exclusive with ``rebalancer`` and ``failures`` — both
+        mutate ownership or fleet health underneath the scaler's
+        decision-to-application consistency checks — and with measured
+        backends (a worker lane cannot be created mid-run).
     workers:
         Worker-pool width for **measured** backends (any backend with
         ``measured = True``, e.g. the registry's ``"measured"``): the
@@ -557,6 +581,7 @@ class ServingEngine:
                  memsync: str = "none",
                  rebalancer=None,
                  failures=None,
+                 autoscaler=None,
                  workers: int = 0):
         if not backends:
             raise ValueError("need at least one backend")
@@ -601,6 +626,44 @@ class ServingEngine:
                 "failure injection and online rebalancing cannot run "
                 "together: a failover changes ownership underneath the "
                 "rebalancer's decision-to-application consistency check")
+        if autoscaler is not None:
+            if rebalancer is not None:
+                raise ValueError(
+                    "autoscaling and online rebalancing cannot run "
+                    "together: both migrate ownership from windowed "
+                    "measurements and would race each other's "
+                    "decision-to-application consistency checks")
+            if failures is not None:
+                raise ValueError(
+                    "autoscaling and failure injection cannot run "
+                    "together: a failover changes ownership and fleet "
+                    "health underneath the scaler's decisions")
+            if self._measured:
+                raise ValueError(
+                    "autoscaling requires modeled backends: a measured "
+                    "worker lane cannot be created mid-run")
+            if topology == "hybrid":
+                raise ValueError(
+                    "autoscaling does not apply to the hybrid topology: "
+                    "the pool pseudo-shard and the dedicated shards "
+                    "would need separate controllers")
+            if topology == "pool" \
+                    and (pool_servers or len(backends)) \
+                    != autoscaler.capacity.replicas:
+                raise ValueError(
+                    f"pool_servers ({pool_servers or len(backends)}) must "
+                    f"equal capacity.replicas "
+                    f"({autoscaler.capacity.replicas}): the capacity "
+                    f"config is the controller's source of truth for the "
+                    f"initial fleet")
+            if topology == "sharded" \
+                    and len(backends) != autoscaler.capacity.max_replicas:
+                raise ValueError(
+                    f"sharded autoscaling needs one backend per fleet "
+                    f"slot: capacity.max_replicas is "
+                    f"{autoscaler.capacity.max_replicas}, got "
+                    f"{len(backends)} backends (use padded_hash_placement "
+                    f"to size the router to match)")
         if topology == "pool":
             if rebalancer is not None:
                 raise ValueError(
@@ -650,6 +713,7 @@ class ServingEngine:
         self.mail_hop_s = float(mail_hop_s)
         self.memsync = memsync
         self.rebalancer = rebalancer
+        self.autoscaler = autoscaler
         self.failure_injector = None if failures is None \
             else FailureInjector(failures)
         # Populated by each run: typed trace (or None), the scheduler
@@ -865,18 +929,29 @@ class ServingEngine:
         # charged to the destination shard's *next* sub-job, the same way
         # sync traffic inflates the service time of the job carrying it.
         rebal = self.rebalancer
+        auto = self.autoscaler
         pending_handoff_hops = [0] * len(groups)
-        if rebal is not None:
-            def price_handoff(ev):
-                if self.die_of is not None \
-                        and self.die_of[ev.from_shard] \
-                        != self.die_of[ev.to_shard]:
-                    pending_handoff_hops[ev.to_shard] += ev.rows
 
+        def price_handoff(ev):
+            if self.die_of is not None \
+                    and self.die_of[ev.from_shard] \
+                    != self.die_of[ev.to_shard]:
+                pending_handoff_hops[ev.to_shard] += ev.rows
+
+        if rebal is not None:
             rebal.bind(sched, groups, router=self.router, cache=cache,
                        pool_shard=(self.num_shards - 1
                                    if self.topology == "hybrid" else None),
                        on_migrate=price_handoff)
+        if auto is not None:
+            # Split/merge handoffs ride the same channel and pricing as
+            # rebalancer migrations; the groups' commit hook is the
+            # controller's latency feed.
+            auto.bind(sched, groups,
+                      router=None if pooled else self.router,
+                      cache=cache, on_migrate=price_handoff)
+            for g in groups:
+                g.on_serviced = auto.record_response
 
         # Recovery transfers (peer rebuilds, fail-backs) ride the same
         # channel and pricing as migration handoffs.
@@ -894,8 +969,18 @@ class ServingEngine:
             ji = len(jobs)
             jobs.append(job)
             if pooled:
+                if auto is not None:
+                    # Decisions scheduled here fire as ScaleEvents *after*
+                    # this job's submission lands: in-flight work drains on
+                    # the old fleet, the next dispatch sees the new one.
+                    auto.observe(job.t_release, job.batch)
                 per_shard[0].append((job.t_release, job))
                 return [Submission(0, job)]
+            if auto is not None:
+                # Same decision-after-routing discipline as the rebalancer
+                # below: the split/merge migrations land before the next
+                # release routes.
+                auto.observe(job.t_release, job.batch)
             if rebal is not None:
                 # Decisions scheduled here fire as MigrationEvents *after*
                 # this job's submissions land: in-flight work drains under
@@ -951,11 +1036,13 @@ class ServingEngine:
 
         if pooled:
             return self._pool_report(arrivals, jobs, shard_results[0],
-                                     window_s, speedup, num_streams, ingest)
+                                     window_s, speedup, num_streams, ingest,
+                                     auto=auto)
         return self._sharded_report(arrivals, jobs, per_shard, shard_results,
                                     window_s, speedup, num_streams, ingest,
                                     rebal, chaos,
-                                    measured=self._measured_block(groups))
+                                    measured=self._measured_block(groups),
+                                    auto=auto)
 
     # ------------------------------------------------------------------ #
     def _measured_block(self, groups: Sequence[ServerGroup]) -> dict | None:
@@ -1015,7 +1102,8 @@ class ServingEngine:
                         shard_results: list[SimulationResult],
                         window_s: float, speedup: float, num_streams: int,
                         ingest: str, rebal=None, chaos=None,
-                        measured: dict | None = None) -> ServingReport:
+                        measured: dict | None = None,
+                        auto=None) -> ServingReport:
         mailbox = CrossShardMailbox(self.num_shards)
 
         # Resolve drops globally first: a window is dropped if *any*
@@ -1059,7 +1147,16 @@ class ServingEngine:
         # shard finishes; it is dropped if any shard's queue rejected it.
         # Windows arriving inside an outage interval feed the chaos tail
         # metrics separately — the recovery bill lands there.
-        outages = chaos.outage_intervals() if chaos is not None else []
+        finite = finish_of_job[np.isfinite(finish_of_job)]
+        run_end = float(finite.max()) if len(finite) else float(arrivals[0].t)
+        # An unrecovered failure leaves its outage open (hi == inf) — exact
+        # internally, but Infinity is not strict JSON, so anything derived
+        # for the report clamps open windows to the run's end.  Membership
+        # below is unchanged by the clamp: every served arrival precedes
+        # its own finish, hence run_end.
+        outages = [(lo, min(hi, run_end))
+                   for lo, hi in (chaos.outage_intervals()
+                                  if chaos is not None else [])]
         responses: list[float] = []
         outage_resp: list[float] = []
         dropped_windows = 0
@@ -1098,8 +1195,7 @@ class ServingEngine:
         # permutation-invariant, bit-for-bit); the mean stays on the
         # unsorted array — summation order changes its last bits.
         resp_sorted = np.sort(resp)
-        finite = finish_of_job[np.isfinite(finish_of_job)]
-        makespan = float(finite.max() - arrivals[0].t) if len(finite) else 0.0
+        makespan = run_end - float(arrivals[0].t) if len(finite) else 0.0
         ingested = sum(len(a) for a in arrivals)
         placement = self.router.placement
         return ServingReport(
@@ -1140,13 +1236,15 @@ class ServingEngine:
             outage_p99_response_s=float(
                 np.percentile(np.sort(np.asarray(outage_resp)), 99))
             if outage_resp else 0.0,
-            measured=measured)
+            measured=measured,
+            scaling=None if auto is None
+            else auto.report_block(float(arrivals[0].t), makespan))
 
     # ------------------------------------------------------------------ #
     def _pool_report(self, arrivals: list[StreamArrival],
                      jobs: list[CoalescedJob], res: SimulationResult,
                      window_s: float, speedup: float, num_streams: int,
-                     ingest: str) -> ServingReport:
+                     ingest: str, auto=None) -> ServingReport:
         """K stateless replicas behind one shared FIFO queue.
 
         Jobs are never split: any free replica serves the whole job, so no
@@ -1205,4 +1303,6 @@ class ServingEngine:
             placement="none",
             replicated_vertices=0,
             pool_servers=self.pool_servers,
-            ingest=ingest)
+            ingest=ingest,
+            scaling=None if auto is None
+            else auto.report_block(float(arrivals[0].t), makespan))

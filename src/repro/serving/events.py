@@ -60,6 +60,8 @@ Event types
 :class:`MigrationEvent`     a vertex changes owner mid-run (scheduled)
 :class:`FailureEvent`       a shard degrades or dies mid-run (scheduled)
 :class:`RecoveryEvent`      a failed shard comes back (scheduled)
+:class:`ScaleEvent`         the fleet grows or shrinks by one server
+                            (scheduled)
 
 At equal timestamps events fire in a fixed priority order (service ends,
 then dispatches, then migrations, then flushes, then arrivals) so that
@@ -111,6 +113,31 @@ change lands in the trace as a :class:`MigrationEvent` (reasons
 ``"promote"`` / ``"rebuild"`` / ``"fail-back"``), so the exactly-once
 ownership-chain invariant covers failovers for free.
 
+ScaleEvent lifecycle (elastic capacity)
+---------------------------------------
+Where a migration moves load across a *fixed* fleet, a
+:class:`ScaleEvent` resizes the fleet itself.  The
+:class:`~repro.serving.autoscale.AutoScaler` watches windowed p95
+response latency against an SLO band and **schedules** a
+:class:`ScaleEvent` at the current instant with the ``_MIGRATE``
+priority — like a migration, a capacity change decided at ``t`` applies
+before the next job released at ``t`` routes.  In the pool topology the
+event calls :meth:`ServerGroup.scale_up` (a new replica joins the idle
+heap *cold*: it is born free at ``t + cold_start_s``, so the existing
+``max(freed_at, t_arrive)`` dispatch rule prices the warm-up without a
+special case) or :meth:`ServerGroup.scale_down` (an idle replica is
+retired outright; a busy one *drains* — it finishes its committed job
+and leaves the fleet at its service end).  In the sharded topology a
+scale-up activates an empty shard and splits the hottest shard's
+vertices into it through ordinary :class:`MigrationEvent` handoffs
+(reason ``"split"``), and a scale-down merges the highest shard's
+vertices onto the coolest survivor (reason ``"merge"``) — the same
+priced, memsync-exact ownership machinery the rebalancer and the
+failure injector use, so the exactly-once ownership chain covers
+elastic capacity for free.  Fleet-size history replays through
+``tracecheck``'s ``fleet-size`` check the way migrations replay
+through ``ownership-chain``.
+
 Actors
 ------
 :class:`ServerGroup`
@@ -159,7 +186,7 @@ from .batcher import CoalescedJob, DynamicBatcher, StreamArrival
 __all__ = [
     "ArrivalEvent", "FlushEvent", "ServiceBeginEvent", "ServiceEndEvent",
     "MailEvent", "SyncEvent", "MigrationEvent", "FailureEvent",
-    "RecoveryEvent", "FailurePlan", "EventScheduler",
+    "RecoveryEvent", "ScaleEvent", "FailurePlan", "EventScheduler",
     "HeapEventScheduler", "ServedJob", "SimulationResult", "ServerGroup",
     "BatcherActor", "RouterActor", "Submission", "INGEST_MODES",
 ]
@@ -293,6 +320,33 @@ class RecoveryEvent:
     t: float
     shard: int
     mode: str
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """The serving fleet grows (``kind="up"``) or shrinks (``"down"``) by
+    exactly one server at ``t``.
+
+    ``shard`` names the affected station: the pool group in pool
+    topology, or the shard being activated (split) / drained (merge) in
+    sharded topology.  ``servers_before`` / ``servers_after`` are the
+    *active-fleet* sizes around the change — always one apart, which is
+    what ``tracecheck``'s ``fleet-size`` replay asserts.  ``rows`` is
+    the priced state handoff the change triggered (the split/merge
+    migration rows; 0 for a stateless pool replica) and ``reason`` names
+    the controller trigger (``"slo-breach"`` above the SLO band,
+    ``"slo-slack"`` below it).  Like :class:`MigrationEvent` this event
+    is *scheduled*: its handler applies the capacity change, so the
+    trace position is exactly the instant the fleet size changed.
+    """
+
+    t: float
+    kind: str
+    shard: int
+    servers_before: int
+    servers_after: int
+    rows: int
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -722,6 +776,17 @@ class ServerGroup:
         # the service-time multiplier, a dead failure clears ``accepting``.
         self.service_factor = 1.0
         self.accepting = True
+        # Elastic-capacity state (see ScaleEvent): server ids are never
+        # reused across a scale-down/up cycle, so trace rows stay
+        # unambiguous; ``_draining`` holds busy servers retired by
+        # scale_down — they finish their committed job and leave at the
+        # service end instead of rejoining the idle heap.  ``on_serviced``
+        # (when set) receives ``(t_finish, response_s)`` per committed job
+        # — the autoscaler's latency feed.
+        self._next_server = int(num_servers)
+        self._draining: set[int] = set()
+        self._retired: set[int] = set()
+        self.on_serviced: Callable[[float, float], None] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -785,6 +850,8 @@ class ServerGroup:
         self._served[i] = ServedJob(index=i, t_arrive=t_arrive,
                                     t_begin=begin, t_finish=finish,
                                     service_s=service, server=srv)
+        if self.on_serviced is not None:
+            self.on_serviced(finish, finish - t_arrive)
         if self._sched.trace is not None:
             self._record_begin(begin, srv, i)
             self._sched.schedule(finish, _END,
@@ -809,6 +876,15 @@ class ServerGroup:
         self._end(ev[0], ev[1])
 
     def _end(self, t: float, server: int) -> None:
+        if server in self._draining:
+            # Retired by scale_down while busy: the job it was committed
+            # to is done, so it leaves the fleet instead of re-idling.
+            # num_servers already dropped at the scale instant.
+            self._draining.discard(server)
+            self._retired.add(server)
+            if self.on_hungry is not None and self.hungry:
+                self.on_hungry(t)
+            return
         heapq.heappush(self._idle, (t, server))
         if self._waiting:
             # Defer the hand-off so every same-instant end lands in the
@@ -849,6 +925,62 @@ class ServerGroup:
         """Recover from any failure: accept again, at full service speed."""
         self.accepting = True
         self.service_factor = 1.0
+
+    # ------------------------------------------------------------------ #
+    def scale_up(self, t: float, cold_start_s: float = 0.0) -> int:
+        """Add one server at ``t``; returns its (never-reused) id.
+
+        The newcomer joins the idle heap free at ``t + cold_start_s``, so
+        the ordinary ``max(freed_at, t_arrive)`` dispatch rule prices the
+        cold start: a job handed to it before the warm-up completes simply
+        begins when the warm-up does.  If jobs are waiting, a dispatch is
+        scheduled at the scale instant — the capacity becomes usable
+        immediately, the warm-up only delays the begin.
+        """
+        if cold_start_s < 0:
+            raise ValueError("cold_start_s must be non-negative")
+        server = self._next_server
+        self._next_server += 1
+        self.num_servers += 1
+        heapq.heappush(self._idle, (t + cold_start_s, server))
+        if self._waiting and not self._dispatch_pending:
+            self._dispatch_pending = True
+            self._sched.schedule(t, _DISPATCH, None, self._dispatch)
+        return server
+
+    def scale_down(self, t: float) -> int:
+        """Retire one server at ``t``; returns the retired server's id.
+
+        Prefers an *idle* server — the one with the latest
+        ``(freed_at, server_id)``, which retires a still-warming
+        scale-up before a long-warm veteran.  With every server busy the
+        highest-id non-draining one **drains**: it finishes the job it
+        committed to (the service interval was priced at begin, exactly
+        like a dead shard's in-flight work) and leaves the fleet at its
+        service end.  ``num_servers`` drops immediately either way — the
+        capacity decision applies at the scale instant; :meth:`finalize`
+        therefore reports utilization against the *final* fleet size,
+        which the autoscaler's server-seconds integral replaces for
+        elastic runs.
+        """
+        if self.num_servers <= 1:
+            raise ValueError("cannot scale below one server")
+        if self._idle:
+            # max() over a list of unique tuples is deterministic; the
+            # heap property only pins index 0, so re-heapify after the
+            # positional removal.
+            victim = max(self._idle)
+            self._idle.remove(victim)
+            heapq.heapify(self._idle)
+            self._retired.add(victim[1])
+            self.num_servers -= 1
+            return victim[1]
+        # Every live server is busy (idle is empty): drain the highest id.
+        server = max(s for s in range(self._next_server)
+                     if s not in self._retired and s not in self._draining)
+        self._draining.add(server)
+        self.num_servers -= 1
+        return server
 
     # ------------------------------------------------------------------ #
     def finalize(self) -> SimulationResult:

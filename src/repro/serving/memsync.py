@@ -197,7 +197,9 @@ class VersionedMemoryCache:
     def transfer_ownership(self, vertices, from_shards, to_shard: int,
                            keep_holder=False) -> None:
         """Move ownership of ``vertices`` from ``from_shards`` to
-        ``to_shard`` (an online migration's coherence side).
+        ``to_shard`` (an online migration's coherence side — the same
+        call serves elastic shard splits/merges, where the autoscaler
+        is the migration's author).
 
         The handoff delivers the vertices' *current* rows to the new
         owner, so its copy is stamped with the current version — a

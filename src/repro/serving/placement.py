@@ -63,7 +63,7 @@ __all__ = [
     "StaticHashPlacement", "LoadAwareRebalance", "ReplicatedReadMostly",
     "HotColdHybrid",
     "PLACEMENT_POLICIES", "make_policy", "hash_assignment",
-    "replica_shards_from_traffic",
+    "padded_hash_placement", "replica_shards_from_traffic",
 ]
 
 # 64-bit golden-ratio multiplier (Fibonacci hashing): cheap, deterministic,
@@ -80,6 +80,25 @@ def hash_assignment(num_nodes: int, num_shards: int) -> np.ndarray:
     with np.errstate(over="ignore"):
         hashed = (ids * _HASH_MULT) >> np.uint64(32)
     return (hashed % np.uint64(num_shards)).astype(np.int64)
+
+
+def padded_hash_placement(num_nodes: int, active_shards: int,
+                          num_shards: int) -> "Placement":
+    """An elastic fleet's initial layout: hash over the active prefix.
+
+    Vertices are hash-partitioned across the first ``active_shards``
+    stations, but the placement declares ``num_shards`` (the fleet's
+    *maximum*) so routers, mailboxes and the memsync cache are sized for
+    every station the :class:`~repro.serving.autoscale.AutoScaler` may
+    ever activate.  The inactive tail ``[active_shards, num_shards)``
+    owns nothing until a split migrates vertices into it — and a station
+    owning nothing never receives a sub-job or a mail row, so padding is
+    free until used.
+    """
+    if not 0 < active_shards <= num_shards:
+        raise ValueError("need 0 < active_shards <= num_shards")
+    return Placement(assignment=hash_assignment(num_nodes, active_shards),
+                     num_shards=num_shards, policy="hash")
 
 
 def replica_shards_from_traffic(traffic: np.ndarray, owner: int,

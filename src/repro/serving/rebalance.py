@@ -32,6 +32,13 @@ When an event fires the rebalancer applies it:
   :class:`~repro.serving.events.SyncEvent` traffic (the engine charges the
   hops to the destination shard's next sub-job).
 
+The elastic :class:`~repro.serving.autoscale.AutoScaler` drives shard
+splits and merges through this exact apply path — a scale decision is a
+:class:`~repro.serving.events.ScaleEvent` followed by ordinary
+:class:`~repro.serving.events.MigrationEvent`\\ s, so ownership,
+coherence, and handoff pricing behave identically whether the fleet is
+fixed or elastic.
+
 Decision modes
 --------------
 *Sharded* (``pool_shard=None``): overload-driven.  A shard whose

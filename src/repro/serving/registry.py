@@ -5,7 +5,9 @@ Every backend follows the engine protocol documented in
 registry makes the *choice* of backend data, not code: the serving engine,
 CLI, and benchmarks look backends up by name, and each shard gets its own
 freshly-constructed instance (its own :class:`~repro.models.tgn.ModelRuntime`,
-so shards never share mutable vertex state).
+so shards never share mutable vertex state).  An elastic sharded fleet
+is built the same way, sized ``max_replicas`` wide up front — inactive
+tail shards own no vertices until a split grows into them.
 
 Built-in names
 --------------

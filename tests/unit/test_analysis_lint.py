@@ -220,6 +220,31 @@ class TestReportOmitWhenOff:
                "        return d\n")
         assert findings_for(ReportOmitWhenOffRule, self.PATH, src) == []
 
+    def test_unomitted_scaling_block_fires(self):
+        """The elastic-capacity block obeys the same contract: a
+        ``scaling`` field that ``to_dict()`` never handles would stamp
+        every static-fleet golden."""
+        src = ("class ServingReport:\n"
+               "    topology: str = 'single'\n"
+               "    scaling: dict | None = None\n"
+               "    def to_dict(self):\n"
+               "        return {'topology': self.topology}\n")
+        fs = findings_for(ReportOmitWhenOffRule, self.PATH, src)
+        assert rule_names(fs) == ["report-omit-when-off"]
+        assert "scaling" in fs[0].message
+
+    def test_omitted_scaling_block_silent(self):
+        src = ("class ServingReport:\n"
+               "    topology: str = 'single'\n"
+               "    scaling: dict | None = None\n"
+               "    def to_dict(self):\n"
+               "        d = {'topology': self.topology,\n"
+               "             'scaling': self.scaling}\n"
+               "        if d['scaling'] is None:\n"
+               "            del d['scaling']\n"
+               "        return d\n")
+        assert findings_for(ReportOmitWhenOffRule, self.PATH, src) == []
+
     def test_other_files_out_of_scope(self):
         src = ("class ServingReport:\n"
                "    surprise: int = 7\n")

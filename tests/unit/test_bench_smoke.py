@@ -20,7 +20,7 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-# Seconds of wall clock the whole smoke harness (9 benches + interpreter
+# Seconds of wall clock the whole smoke harness (10 benches + interpreter
 # startup) may take.  Healthy runs finish in ~8 s; the budget leaves ~5x
 # headroom for slow CI machines while still catching a per-event blowup.
 SMOKE_BUDGET_S = 45.0
@@ -38,7 +38,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
     elapsed = time.monotonic() - t0
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "9 passed" in proc.stdout
+    assert "10 passed" in proc.stdout
     assert "Serving scale" in proc.stdout
     assert "Placement x topology" in proc.stdout
     assert "Memory sync" in proc.stdout
@@ -48,6 +48,7 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
     assert "Event core" in proc.stdout
     assert "Trace invariants" in proc.stdout
     assert "Measured backend" in proc.stdout
+    assert "Elastic capacity" in proc.stdout
     # The perf-trajectory artifact CI diffs against its baseline.
     assert os.path.exists(os.path.join(
         str(tmp_path), "BENCH_events_per_sec.json"))
@@ -58,6 +59,9 @@ def test_serving_scale_smoke_runs_quickly(tmp_path):
     # The measured worker-pool ratio CI diffs against its own baseline.
     assert os.path.exists(os.path.join(
         str(tmp_path), "BENCH_measured_backend.json"))
+    # The autoscale server-seconds ratio CI diffs against its baseline.
+    assert os.path.exists(os.path.join(
+        str(tmp_path), "BENCH_autoscale.json"))
     assert elapsed < SMOKE_BUDGET_S, (
         f"--smoke took {elapsed:.1f} s (budget {SMOKE_BUDGET_S:.0f} s): "
         f"the event loop's per-event overhead has regressed")

@@ -448,6 +448,140 @@ class TestServeSimRebalanceOnline:
         assert a == b
 
 
+class TestServeSimAutoscale:
+    BASE = ["serve-sim", "--dataset", "wikipedia", "--edges", "400",
+            "--shards", "2", "--streams", "2", "--backend", "cpu-32t",
+            "--window-s", "3600", "--memory-dim", "8", "--seed", "0",
+            "--speedup", "2000"]
+
+    def test_pool_scales_up_under_a_tight_slo(self, tmp_path):
+        import json
+        path = str(tmp_path / "r.json")
+        code, text = run(self.BASE + ["--topology", "pool", "--autoscale",
+                                      "--slo-p95", "1e-6",
+                                      "--max-servers", "4",
+                                      "--json", path])
+        assert code == 0
+        assert "autoscale slo-p95" in text
+        with open(path) as f:
+            report = json.load(f)
+        s = report["scaling"]
+        assert s["autoscale"] == "slo-p95"
+        assert s["scale_ups"] > 0
+        assert s["initial_servers"] == 2 and s["max_servers"] == 4
+        assert s["final_servers"] == s["peak_servers"] == 4
+        assert s["server_seconds"] > 0
+
+    def test_pool_scales_down_under_a_slack_slo(self):
+        code, text = run(self.BASE + ["--topology", "pool", "--autoscale",
+                                      "--slo-p95", "1e6"])
+        assert code == 0
+        assert "down, fleet 2 -> 1" in text
+
+    def test_sharded_splits_print_handoff_rows(self):
+        code, text = run(self.BASE + ["--autoscale", "--slo-p95", "1e-6",
+                                      "--max-servers", "4"])
+        assert code == 0
+        assert "autoscale slo-p95" in text
+        assert "split/merge rows" in text
+
+    def test_autoscaled_trace_replays_clean(self):
+        code, text = run(self.BASE + ["--topology", "pool", "--autoscale",
+                                      "--slo-p95", "1e-6",
+                                      "--max-servers", "4",
+                                      "--check-trace"])
+        assert code == 0
+        # 7 checks: the fleet-size replay joined the standard six.
+        assert "trace check: clean" in text and "7 checks" in text
+
+    def test_scaling_block_absent_without_flag(self, tmp_path):
+        import json
+        path = str(tmp_path / "r.json")
+        code, _ = run(self.BASE + ["--json", path])
+        assert code == 0
+        with open(path) as f:
+            assert "scaling" not in json.load(f)
+
+    def test_autoscale_json_determinism(self, tmp_path):
+        argv = self.BASE + ["--autoscale", "--slo-p95", "1e-6",
+                            "--max-servers", "4"]
+        paths = [str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        for path in paths:
+            code, _ = run(argv + ["--json", path])
+            assert code == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b
+
+    @pytest.mark.parametrize("extra,msg", [
+        (["--autoscale"], "--slo-p95"),
+        (["--slo-p95", "1.0"], "--autoscale"),
+        (["--scale-window", "10"], "--autoscale"),
+        (["--max-servers", "4"], "--autoscale"),
+        (["--autoscale", "--slo-p95", "1.0", "--rebalance-online"],
+         "rebalance"),
+        (["--autoscale", "--slo-p95", "1.0", "--fail-at", "300",
+          "--fail-shard", "1"], "--fail-at"),
+        (["--autoscale", "--slo-p95", "1.0", "--topology", "hybrid"],
+         "hybrid"),
+        (["--autoscale", "--slo-p95", "1.0", "--placement", "replicate"],
+         "hash"),
+        (["--autoscale", "--slo-p95", "1.0", "--max-servers", "1"],
+         "--max-servers"),
+    ])
+    def test_conflicting_flags_are_clean_errors(self, extra, msg):
+        code, text = run(self.BASE + extra)
+        assert code == 2
+        assert "error:" in text and msg in text
+
+
+class TestReportStrictJson:
+    """Every canonical report round-trips *strict* JSON: no Infinity/NaN
+    tokens ever reach the serialized report (the open-ended outage
+    interval regression — ``(t0, inf)`` is clamped to the run makespan
+    before it can leak into accounting)."""
+
+    CASES = dict(TestServeSimGolden.CASES,
+                 **{"fail_without_recover.json": [
+                        "--memsync", "push", "--placement", "replicate",
+                        "--speedup", "2000", "--fail-at", "300",
+                        "--fail-shard", "1"],
+                    "autoscale_pool.json": [
+                        "--topology", "pool", "--speedup", "2000",
+                        "--autoscale", "--slo-p95", "1e-6",
+                        "--max-servers", "4"]})
+
+    @pytest.mark.parametrize("name,extra", sorted(CASES.items()))
+    def test_round_trips_strict_json(self, tmp_path, name, extra):
+        import json
+
+        def reject(token):
+            raise AssertionError(
+                f"non-finite JSON token {token!r} in {name}")
+
+        path = str(tmp_path / name)
+        code, _ = run(TestServeSimGolden.BASE + extra + ["--json", path])
+        assert code == 0
+        with open(path) as f:
+            text = f.read()
+        report = json.loads(text, parse_constant=reject)
+        # And the round trip is exact: parse -> dump -> parse.
+        assert json.loads(json.dumps(report), parse_constant=reject) \
+            == report
+
+    def test_open_outage_interval_is_clamped_to_makespan(self, tmp_path):
+        """A failure with no recovery leaves an open outage: its report
+        accounting must cover at most the run span, never infinity."""
+        import json
+        path = str(tmp_path / "r.json")
+        code, _ = run(TestServeSimGolden.BASE + self.CASES[
+            "fail_without_recover.json"] + ["--json", path])
+        assert code == 0
+        with open(path) as f:
+            report = json.loads(f.read(), parse_constant=lambda t: 1 / 0)
+        assert report["outage_windows"] > 0
+        assert report["makespan_s"] < float("inf")
+
+
 class TestDseTrace:
     def test_dse_prints_frontier(self):
         code, text = run(["dse", "--platform", "zcu104", "--prune", "2"])

@@ -183,13 +183,13 @@ class TestMeasuredCLI:
         assert "modeled/measured" in text
         assert "report structures identical: yes" in text
 
-    def test_workers_ignored_note_on_modeled_backend(self):
+    def test_workers_on_modeled_backend_is_a_clean_error(self):
         code, text = run_cli(["serve-sim", "--dataset", "wikipedia",
                               "--edges", "300", "--shards", "2",
                               "--backend", "cpu-32t", "--memory-dim", "8",
                               "--workers", "2"])
-        assert code == 0
-        assert "--workers is ignored" in text
+        assert code == 2
+        assert "--workers requires --backend measured" in text
 
     def test_pool_topology_is_a_clean_error(self):
         code, text = run_cli(CLI_BASE + ["--topology", "pool"])
